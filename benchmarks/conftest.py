@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates part of the paper's evaluation section (§4).
+The full sweep over frameworks, kernels and problem sizes is run once per
+session and cached; individual benchmarks then time the interesting step
+(compiling with a given flow, estimating an execution) and assert / print
+the figure or table they regenerate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.evaluation.harness import DEFAULT_CASES, EvaluationHarness
+
+
+@pytest.fixture(scope="session")
+def harness() -> EvaluationHarness:
+    return EvaluationHarness(repeats=10)
+
+
+@pytest.fixture(scope="session")
+def all_results(harness):
+    """Every (framework, kernel, size) combination of the paper's evaluation."""
+    return harness.run_all(cases=DEFAULT_CASES)
+
+
+def result_index(results):
+    return {(r.framework, r.kernel, r.size_label): r for r in results}

@@ -1,0 +1,90 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out (A1-A4).
+
+Each ablation disables one of the nine transformation steps (or a synthesis
+decision) and measures the modelled performance impact on the 8M-point PW
+advection kernel, quantifying why the paper's transformation makes each
+choice.
+"""
+
+import pytest
+
+from repro.core.config import CompilerOptions
+from repro.core.pipeline import StencilHMLSCompiler
+from repro.fpga.dataflow_sim import TimingModel
+from repro.fpga.device import ALVEO_U280, VCK5000
+from repro.kernels.grids import PW_ADVECTION_SIZES
+from repro.kernels.pw_advection import build_pw_advection
+
+SHAPE = PW_ADVECTION_SIZES["8M"].shape
+
+
+def compile_and_time(options: CompilerOptions, device=ALVEO_U280):
+    module = build_pw_advection(SHAPE)
+    xclbin = StencilHMLSCompiler(options, device).compile(module)
+    timing = TimingModel().estimate(xclbin.design)
+    return xclbin, timing
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return compile_and_time(CompilerOptions())
+
+
+class TestA1PerFieldSplit:
+    def test_ablation(self, benchmark, baseline):
+        xclbin, timing = benchmark(lambda: compile_and_time(CompilerOptions(split_compute_per_field=False)))
+        base_xclbin, base_timing = baseline
+        print(f"\nA1 per-field split: {base_timing.mpts:.0f} MPt/s with split, "
+              f"{timing.mpts:.0f} MPt/s without (x{base_timing.mpts / timing.mpts:.1f})")
+        assert base_timing.mpts > timing.mpts
+        assert xclbin.design.achieved_ii > base_xclbin.design.achieved_ii
+
+
+class TestA2InterfacePacking:
+    def test_ablation(self, benchmark, baseline):
+        xclbin, timing = benchmark(lambda: compile_and_time(CompilerOptions(pack_interfaces=False)))
+        base_xclbin, base_timing = baseline
+        print(f"\nA2 512-bit packing: {base_timing.mpts:.0f} MPt/s packed, "
+              f"{timing.mpts:.0f} MPt/s scalar interfaces")
+        assert base_timing.mpts >= timing.mpts
+        assert max(i.packed_lanes for i in base_xclbin.plan.interfaces) == 8
+        assert max(i.packed_lanes for i in xclbin.plan.interfaces) == 1
+
+
+class TestA3SeparateBundles:
+    def test_ablation(self, benchmark, baseline):
+        xclbin, timing = benchmark(lambda: compile_and_time(CompilerOptions(separate_bundles=False)))
+        base_xclbin, base_timing = baseline
+        print(f"\nA3 AXI bundles: {base_timing.mpts:.0f} MPt/s with per-argument bundles, "
+              f"{timing.mpts:.0f} MPt/s with one shared port")
+        assert base_timing.mpts > timing.mpts
+        assert base_xclbin.design.ports_per_cu == 7
+        assert xclbin.design.ports_per_cu < 7
+
+
+class TestA4ComputeUnitReplication:
+    def test_single_cu(self, benchmark, baseline):
+        xclbin, timing = benchmark(lambda: compile_and_time(CompilerOptions(replicate_compute_units=False)))
+        base_xclbin, base_timing = baseline
+        print(f"\nA4 CU replication: {base_timing.mpts:.0f} MPt/s with 4 CUs, "
+              f"{timing.mpts:.0f} MPt/s with 1 CU")
+        assert base_xclbin.design.compute_units == 4
+        assert xclbin.design.compute_units == 1
+        assert base_timing.mpts > timing.mpts
+
+    def test_vck5000_profile(self, benchmark, baseline):
+        """Paper future work: a device without the 32-port limit replicates further."""
+        xclbin, timing = benchmark(lambda: compile_and_time(CompilerOptions(), device=VCK5000))
+        base_xclbin, base_timing = baseline
+        print(f"\nA4 VCK5000 profile: {xclbin.design.compute_units} CUs vs "
+              f"{base_xclbin.design.compute_units} on the U280")
+        assert xclbin.design.compute_units >= base_xclbin.design.compute_units
+
+
+class TestCompileOptLevel:
+    def test_vitis_o0_requirement(self, benchmark, baseline):
+        """The paper compiles the generated LLVM-IR with -O0; higher levels hurt."""
+        xclbin, timing = benchmark(lambda: compile_and_time(CompilerOptions(vitis_opt_level=2)))
+        base_xclbin, base_timing = baseline
+        assert xclbin.design.achieved_ii > base_xclbin.design.achieved_ii
+        assert base_timing.mpts > timing.mpts

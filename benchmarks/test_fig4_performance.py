@@ -1,0 +1,59 @@
+"""Figure 4 — performance (MPt/s) of every framework on both kernels.
+
+Regenerates the two bar charts of Figure 4: PW advection at 8M/32M/134M
+points and tracer advection at 8M/33M points, across Stencil-HMLS, DaCe,
+SODA-opt and Vitis HLS (StencilFlow produced no runtime numbers in the
+paper, and produces none here: PW advection deadlocks, tracer advection is
+unsupported).
+"""
+
+import pytest
+
+from repro.baselines import DaCeFramework, SODAOptFramework, StencilHMLSFramework, VitisHLSFramework
+from repro.evaluation.figures import figure4_performance
+from repro.evaluation.harness import BenchmarkCase
+from repro.evaluation.metrics import speedup
+from repro.evaluation.report import format_figure
+from repro.kernels.grids import PW_ADVECTION_SIZES, TRACER_ADVECTION_SIZES
+
+from conftest import result_index
+
+
+def test_regenerate_figure4(all_results):
+    figure = figure4_performance(all_results)
+    print()
+    print(format_figure(figure["pw_advection"], "Figure 4a: PW advection performance", "MPt/s"))
+    print()
+    print(format_figure(figure["tracer_advection"], "Figure 4b: tracer advection performance", "MPt/s"))
+
+    index = result_index(all_results)
+    # Stencil-HMLS is 90-100x faster than the next best (DaCe) on PW advection.
+    for size in ("8M", "32M"):
+        ratio = speedup(index[("Stencil-HMLS", "pw_advection", size)],
+                        index[("DaCe", "pw_advection", size)])
+        assert 60 <= ratio <= 150
+    # ... and 14-21x faster on tracer advection.
+    for size in ("8M", "33M"):
+        ratio = speedup(index[("Stencil-HMLS", "tracer_advection", size)],
+                        index[("DaCe", "tracer_advection", size)])
+        assert 10 <= ratio <= 30
+    # DaCe cannot handle the largest PW advection size; Stencil-HMLS can.
+    assert figure["pw_advection"]["DaCe"]["134M"] is None
+    assert figure["pw_advection"]["Stencil-HMLS"]["134M"] > 0
+
+
+@pytest.mark.parametrize("framework_cls", [StencilHMLSFramework, DaCeFramework,
+                                           SODAOptFramework, VitisHLSFramework])
+def test_benchmark_pw_8m_compile_and_estimate(benchmark, harness, framework_cls):
+    """Time compiling + modelling one PW advection execution per framework."""
+    case = BenchmarkCase("pw_advection", PW_ADVECTION_SIZES["8M"])
+    result = benchmark(lambda: harness.run_case(framework_cls, case))
+    assert result.succeeded
+
+
+@pytest.mark.parametrize("framework_cls", [StencilHMLSFramework, DaCeFramework])
+def test_benchmark_tracer_8m_compile_and_estimate(benchmark, harness, framework_cls):
+    case = BenchmarkCase("tracer_advection", TRACER_ADVECTION_SIZES["8M"])
+    result = benchmark(lambda: harness.run_case(framework_cls, case))
+    assert result.succeeded
+    assert result.achieved_ii in (1, 9)

@@ -1,0 +1,88 @@
+"""§4 narrative claims that are not bars in a figure or rows in a table.
+
+* initiation intervals: Stencil-HMLS 1, DaCe 9, SODA-opt 164, Vitis HLS 163
+  (on the tracer advection critical path);
+* the PW advection advantage decomposition 4 (CUs) x 9 (II) x 3 (split) = 108;
+* the AXI-port budget: 4 CUs x 7 ports for PW advection fits the 32-port
+  shell, the tracer advection kernel's 17 ports force a single CU;
+* StencilFlow outcomes: PW advection compiles but deadlocks, tracer advection
+  cannot be expressed, the largest PW size cannot be allocated;
+* DaCe cannot compile the 134M-point PW advection case (no automatic
+  multi-bank assignment).
+"""
+
+import pytest
+
+from repro.baselines import (
+    CompilationFailure,
+    DaCeFramework,
+    DeadlockError,
+    SODAOptFramework,
+    StencilFlowFramework,
+    StencilHMLSFramework,
+    UnsupportedKernelError,
+    VitisHLSFramework,
+)
+from repro.evaluation.metrics import speedup
+from repro.fpga.device import ALVEO_U280
+from repro.kernels.grids import PW_ADVECTION_SIZES, TRACER_ADVECTION_SIZES
+from repro.kernels.pw_advection import build_pw_advection
+from repro.kernels.tracer_advection import build_tracer_advection
+
+from conftest import result_index
+
+
+def test_initiation_intervals(all_results):
+    index = result_index(all_results)
+    assert index[("Stencil-HMLS", "pw_advection", "8M")].achieved_ii == 1
+    assert index[("Stencil-HMLS", "tracer_advection", "8M")].achieved_ii == 1
+    assert index[("DaCe", "pw_advection", "8M")].achieved_ii == 9
+    vitis = index[("Vitis HLS", "tracer_advection", "8M")].achieved_ii
+    soda = index[("SODA-opt", "tracer_advection", "8M")].achieved_ii
+    print(f"\ncritical-path II: Vitis HLS {vitis}, SODA-opt {soda} (paper: 163 / 164)")
+    assert 140 <= vitis <= 200
+    assert vitis <= soda <= vitis + 10
+
+
+def test_pw_advantage_decomposition(all_results):
+    index = result_index(all_results)
+    ours = index[("Stencil-HMLS", "pw_advection", "8M")]
+    dace = index[("DaCe", "pw_advection", "8M")]
+    ratio = speedup(ours, dace)
+    print(f"\nPW advection advantage: {ratio:.1f}x (paper model: 4 x 9 x 3 = 108)")
+    assert ratio == pytest.approx(4 * 9 * 3, rel=0.2)
+
+
+def test_axi_port_budget(all_results):
+    index = result_index(all_results)
+    pw = index[("Stencil-HMLS", "pw_advection", "8M")]
+    tracer = index[("Stencil-HMLS", "tracer_advection", "8M")]
+    assert pw.compute_units == 4
+    assert tracer.compute_units == 1
+    assert 4 * 7 <= ALVEO_U280.max_axi_ports
+    assert 2 * 17 > ALVEO_U280.max_axi_ports
+
+
+def test_stencilflow_outcomes(benchmark):
+    framework = StencilFlowFramework()
+    pw_module = build_pw_advection(PW_ADVECTION_SIZES["8M"].shape)
+    artifact = benchmark(lambda: framework.compile(pw_module))
+    assert artifact.achieved_ii == 1
+    with pytest.raises(DeadlockError):
+        framework.execute(artifact)
+    with pytest.raises(UnsupportedKernelError):
+        framework.compile(build_tracer_advection(TRACER_ADVECTION_SIZES["8M"].shape))
+    with pytest.raises(CompilationFailure):
+        framework.compile(build_pw_advection(PW_ADVECTION_SIZES["134M"].shape))
+
+
+def test_dace_multibank_limitation(all_results):
+    index = result_index(all_results)
+    assert index[("DaCe", "pw_advection", "134M")].status == "compile_failed"
+    assert index[("DaCe", "pw_advection", "32M")].succeeded
+    assert index[("Stencil-HMLS", "pw_advection", "134M")].succeeded
+
+
+def test_every_framework_modelled(all_results):
+    frameworks = {r.framework for r in all_results}
+    assert frameworks == {"Stencil-HMLS", "DaCe", "SODA-opt", "Vitis HLS", "StencilFlow"}

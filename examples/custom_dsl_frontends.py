@@ -1,0 +1,100 @@
+"""Driving Stencil-HMLS from different DSL frontends.
+
+The paper's point about MLIR/xDSL layering is that any frontend able to emit
+the stencil dialect gets the FPGA optimisation for free (§2.2, §3).  This
+example writes the *same* second-order wave-equation update three ways —
+through the PSyclone-like Fortran frontend, the Devito-like symbolic
+frontend and the programmatic builder — compiles each with the identical
+pipeline and checks that all three produce the same numbers.
+
+Run with:  python examples/custom_dsl_frontends.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import StencilHMLSCompiler
+from repro.fpga.host import FPGAHost
+from repro.frontends.builder import StencilKernelBuilder
+from repro.frontends.devito import DevitoConstant, DevitoFunction, DevitoGrid, DevitoOperator, Eq
+from repro.frontends.psyclone import PSycloneFrontend, PSycloneKernel
+
+SHAPE = (8, 8, 8)
+
+
+def from_psyclone():
+    kernel = PSycloneKernel(
+        name="wave",
+        shape=SHAPE,
+        field_args=["u", "u_prev", "u_next"],
+        scalar_args=["c2"],
+        statements=[
+            "u_next(i,j,k) = 2.0*u(i,j,k) - u_prev(i,j,k)"
+            " + c2*(u(i+1,j,k) + u(i-1,j,k) + u(i,j+1,k) + u(i,j-1,k)"
+            " + u(i,j,k+1) + u(i,j,k-1) - 6.0*u(i,j,k))",
+        ],
+    )
+    return PSycloneFrontend().lower(kernel)
+
+
+def from_devito():
+    grid = DevitoGrid(SHAPE)
+    u = DevitoFunction("u", grid)
+    u_prev = DevitoFunction("u_prev", grid)
+    u_next = DevitoFunction("u_next", grid)
+    c2 = DevitoConstant("c2")
+    laplacian = (
+        u[1, 0, 0] + u[-1, 0, 0] + u[0, 1, 0] + u[0, -1, 0]
+        + u[0, 0, 1] + u[0, 0, -1] - 6.0 * u[0, 0, 0]
+    )
+    eq = Eq(u_next, 2.0 * u[0, 0, 0] - u_prev[0, 0, 0] + c2 * laplacian)
+    return DevitoOperator([eq], name="wave").build_module()
+
+
+def from_builder():
+    builder = StencilKernelBuilder("wave", SHAPE)
+    u = builder.input_field("u")
+    u_prev = builder.input_field("u_prev")
+    u_next = builder.output_field("u_next")
+    c2 = builder.scalar("c2")
+    laplacian = (
+        u[1, 0, 0] + u[-1, 0, 0] + u[0, 1, 0] + u[0, -1, 0]
+        + u[0, 0, 1] + u[0, 0, -1] - 6.0 * u[0, 0, 0]
+    )
+    builder.add_stencil(u_next, 2.0 * u[0, 0, 0] - u_prev[0, 0, 0] + c2 * laplacian)
+    return builder.build()
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    u = rng.standard_normal(SHAPE)
+    u_prev = rng.standard_normal(SHAPE)
+    c2 = 0.05
+
+    compiler = StencilHMLSCompiler()
+    host = FPGAHost()
+    outputs = {}
+    for label, build in (("psyclone", from_psyclone), ("devito", from_devito), ("builder", from_builder)):
+        module = build()
+        xclbin = compiler.compile(module)
+        host.program(xclbin)
+        # Argument names differ in declaration order between frontends, so
+        # pass everything by name.
+        arrays = {"u": u.copy(), "u_prev": u_prev.copy(), "u_next": np.zeros(SHAPE)}
+        result = host.run(arrays, {"c2": c2}, functional=True)
+        outputs[label] = arrays["u_next"]
+        print(f"{label:>9}: kernel {xclbin.kernel_name!r:<14} II={xclbin.design.achieved_ii} "
+              f"CUs={xclbin.design.compute_units} streams={len(xclbin.plan.streams)}")
+
+    reference = outputs["builder"]
+    for label, value in outputs.items():
+        error = np.max(np.abs(value - reference))
+        print(f"  {label:>9} vs builder: max difference {error:.3e}")
+    assert all(np.allclose(value, reference) for value in outputs.values())
+    print("\nAll three frontends produce identical FPGA kernels — the DSL only has"
+          "\nto emit the stencil dialect; everything below is shared (Figure 1).")
+
+
+if __name__ == "__main__":
+    main()

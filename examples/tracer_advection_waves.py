@@ -1,0 +1,80 @@
+"""Tracer advection: chained stencils, dependency waves and the split limit.
+
+The NEMO tracer advection kernel has 24 stencil computations whose
+dependencies "do not allow a clean split across components" (§4) — exactly
+the case where Stencil-HMLS's advantage shrinks from ~100x to ~14-21x.  This
+example shows why: it prints the dependency waves the analysis derives, the
+per-wave dataflow structure the transformation emits, and compares the
+modelled performance of the 1-CU / 17-port tracer kernel against the 4-CU
+PW advection kernel.
+
+Run with:  python examples/tracer_advection_waves.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import StencilHMLSCompiler
+from repro.fpga.host import FPGAHost
+from repro.kernels.grids import TRACER_ADVECTION_SIZES, initial_fields
+from repro.kernels.pw_advection import build_pw_advection
+from repro.kernels.grids import PW_ADVECTION_SIZES
+from repro.kernels.reference import tracer_advection_reference
+from repro.kernels.tracer_advection import (
+    TRACER_INPUT_FIELDS,
+    TRACER_SCALARS,
+    TRACER_WORKSPACE_FIELDS,
+    build_tracer_advection,
+)
+from repro.transforms.stencil_analysis import analyse_module
+
+
+def main() -> None:
+    shape = (6, 6, 6)
+    module = build_tracer_advection(shape)
+    analysis = analyse_module(module)
+
+    print("=== tracer advection structure ===")
+    print(f"  stencil computations : {analysis.num_stencil_stages}")
+    print(f"  memory arguments     : {analysis.num_field_ports} (one AXI port each)")
+    print(f"  dependency waves     : {analysis.num_waves}")
+    for index, wave in enumerate(analysis.dependency_waves()):
+        outputs = [analysis.stages[i].output_fields[0] for i in wave]
+        print(f"    wave {index:>2}: stencils {wave} -> {outputs}")
+
+    # ------------------------------------------------ compile + functional check
+    compiler = StencilHMLSCompiler()
+    xclbin = compiler.compile(module)
+    print("\n=== generated dataflow kernel ===")
+    print(f"  waves          : {xclbin.plan.num_waves}")
+    print(f"  compute stages : {xclbin.plan.num_compute_stages}")
+    print(f"  streams        : {len(xclbin.plan.streams)}")
+    print(f"  compute units  : {xclbin.design.compute_units} "
+          f"(17 ports per CU > 32/2, so no replication)")
+
+    arrays = initial_fields(shape, TRACER_INPUT_FIELDS + TRACER_WORKSPACE_FIELDS)
+    reference = {k: v.copy() for k, v in arrays.items()}
+    tracer_advection_reference(reference, {}, TRACER_SCALARS, shape)
+    host = FPGAHost()
+    host.program(xclbin)
+    sim = {k: v.copy() for k, v in arrays.items()}
+    host.run(sim, TRACER_SCALARS, functional=True)
+    worst = max(np.max(np.abs(sim[f] - reference[f])) for f in TRACER_WORKSPACE_FIELDS)
+    print(f"  functional simulation max error vs numpy: {worst:.3e}")
+
+    # ------------------------------------------------ compare against PW advection
+    print("\n=== modelled performance: chained vs independent stencils ===")
+    tracer_big = compiler.compile(build_tracer_advection(TRACER_ADVECTION_SIZES["8M"].shape))
+    pw_big = compiler.compile(build_pw_advection(PW_ADVECTION_SIZES["8M"].shape))
+    for name, artefact in (("tracer advection", tracer_big), ("PW advection", pw_big)):
+        host.program(artefact)
+        estimate = host.run(problem_points=artefact.plan.domain_points)
+        print(f"  {name:>16}: {estimate.mpts:8.1f} MPt/s "
+              f"({artefact.design.compute_units} CU, {artefact.plan.num_waves} wave(s))")
+    print("\nThe twelve back-to-back waves (plus the single compute unit) are what"
+          "\nreduce the advantage over the baselines on this kernel, as in the paper.")
+
+
+if __name__ == "__main__":
+    main()

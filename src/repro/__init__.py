@@ -1,0 +1,31 @@
+"""Stencil-HMLS reproduction: automatic optimisation of stencil codes on FPGA.
+
+Public API highlights
+---------------------
+
+* :mod:`repro.frontends` — express stencil kernels (PSyclone-like, Devito-like
+  or plain Python) and obtain stencil-dialect IR.
+* :class:`repro.core.pipeline.StencilHMLSCompiler` — the paper's compiler flow:
+  stencil dialect → HLS dialect → annotated LLVM dialect → f++ → "bitstream".
+* :mod:`repro.fpga` — the simulated Alveo U280 device, Vitis-like synthesis
+  model, dataflow simulator and OpenCL-like host runtime.
+* :mod:`repro.baselines` — behavioural models of DaCe, SODA-opt, Vitis HLS
+  and StencilFlow used as comparison points.
+* :mod:`repro.kernels` — the PW advection and NEMO tracer advection kernels.
+* :mod:`repro.evaluation` — metrics, the experiment harness and the
+  figure/table regeneration entry points.
+"""
+
+__version__ = "1.0.0"
+
+
+def __getattr__(name: str):
+    # Lazy imports keep `import repro` cheap and avoid import cycles.
+    if name in ("StencilHMLSCompiler", "CompilerOptions"):
+        from repro.core.pipeline import CompilerOptions, StencilHMLSCompiler
+
+        return {"StencilHMLSCompiler": StencilHMLSCompiler, "CompilerOptions": CompilerOptions}[name]
+    raise AttributeError(f"module 'repro' has no attribute '{name}'")
+
+
+__all__ = ["StencilHMLSCompiler", "CompilerOptions", "__version__"]

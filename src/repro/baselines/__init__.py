@@ -1,0 +1,52 @@
+"""Comparator frameworks.
+
+Behavioural models of the four state-of-the-art flows the paper compares
+against (§2.1, §4), plus a wrapper giving Stencil-HMLS the same interface so
+the evaluation harness treats every framework uniformly.
+
+Each model consumes the *same* stencil-dialect module as Stencil-HMLS and
+produces a :class:`~repro.fpga.synthesis.KernelDesign` reflecting how that
+flow structures the kernel (initiation interval, sequential vs dataflow
+stages, compute-unit replication, memory-bank assignment, resource
+footprint), including the failure modes reported in the paper (DaCe's lack
+of automatic multi-bank assignment, SODA-opt's disabled unrolling and
+removed buffers, StencilFlow's deadlock on PW advection and unsupported
+subselections on tracer advection).
+"""
+
+from repro.baselines.base import (
+    CompilationFailure,
+    DeadlockError,
+    Framework,
+    FrameworkArtifact,
+    FrameworkError,
+    UnsupportedKernelError,
+)
+from repro.baselines.dace import DaCeFramework
+from repro.baselines.soda import SODAOptFramework
+from repro.baselines.vitis import VitisHLSFramework
+from repro.baselines.stencilflow import StencilFlowFramework
+from repro.baselines.stencil_hmls import StencilHMLSFramework
+
+ALL_FRAMEWORKS = (
+    StencilHMLSFramework,
+    DaCeFramework,
+    SODAOptFramework,
+    VitisHLSFramework,
+    StencilFlowFramework,
+)
+
+__all__ = [
+    "ALL_FRAMEWORKS",
+    "CompilationFailure",
+    "DaCeFramework",
+    "DeadlockError",
+    "Framework",
+    "FrameworkArtifact",
+    "FrameworkError",
+    "SODAOptFramework",
+    "StencilFlowFramework",
+    "StencilHMLSFramework",
+    "UnsupportedKernelError",
+    "VitisHLSFramework",
+]

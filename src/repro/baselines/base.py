@@ -1,0 +1,118 @@
+"""Common interface shared by all framework models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.plan import InterfaceSpec
+from repro.dialects.builtin import ModuleOp
+from repro.fpga.dataflow_sim import TimingModel, TimingReport
+from repro.fpga.device import ALVEO_U280, FPGADevice
+from repro.fpga.power_model import PowerModel, PowerReport
+from repro.fpga.synthesis import KernelDesign
+from repro.fpga.xclbin import Xclbin
+from repro.transforms.stencil_analysis import StencilKernelAnalysis, analyse_module
+
+
+class FrameworkError(Exception):
+    """Base class of all framework-level failures."""
+
+
+class CompilationFailure(FrameworkError):
+    """The flow could not produce a bitstream for this kernel / problem size."""
+
+
+class DeadlockError(FrameworkError):
+    """The generated design deadlocks at run time (never completes)."""
+
+
+class UnsupportedKernelError(FrameworkError):
+    """The kernel uses constructs the flow cannot express."""
+
+
+@dataclass
+class FrameworkArtifact:
+    """What a framework's compile step produces."""
+
+    framework: str
+    design: KernelDesign
+    analysis: StencilKernelAnalysis
+    xclbin: Xclbin | None = None
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def achieved_ii(self) -> int:
+        return self.design.achieved_ii
+
+    def estimate_performance(self) -> TimingReport:
+        points = self.analysis.domain_points
+        return TimingModel().estimate(self.design, points)
+
+    def estimate_power(self, timing: TimingReport | None = None) -> PowerReport:
+        timing = timing or self.estimate_performance()
+        model = PowerModel(self.design.device)
+        return model.estimate(
+            self.design.resources,
+            activity=timing.activity,
+            sustained_bandwidth_gbs=timing.sustained_bandwidth_gbs,
+            runtime_s=timing.runtime_s,
+            clock_mhz=self.design.clock_mhz,
+        )
+
+    def utilisation(self) -> dict[str, float]:
+        return self.design.utilisation()
+
+
+class Framework:
+    """Base class: compile a stencil module for a device, model its execution."""
+
+    name: str = "framework"
+    #: Whether the flow can assign buffers to multiple HBM banks automatically
+    #: (or, as for Stencil-HMLS / SODA-opt / Vitis, with hand-written
+    #: connectivity files, which the paper counts as supported).
+    supports_multi_bank: bool = True
+    #: Whether the flow can replicate compute units.
+    supports_cu_replication: bool = True
+
+    def __init__(self, device: FPGADevice = ALVEO_U280) -> None:
+        self.device = device
+
+    # -- to implement -------------------------------------------------------------
+
+    def compile(self, stencil_module: ModuleOp, **options) -> FrameworkArtifact:
+        raise NotImplementedError
+
+    def execute(self, artifact: FrameworkArtifact) -> TimingReport:
+        """Model one kernel execution; may raise :class:`DeadlockError`."""
+        return artifact.estimate_performance()
+
+    # -- helpers -------------------------------------------------------------------
+
+    def _analyse(self, stencil_module: ModuleOp) -> StencilKernelAnalysis:
+        return analyse_module(stencil_module)
+
+    @staticmethod
+    def default_interfaces(analysis: StencilKernelAnalysis, bundle_small_data: bool = True) -> list[InterfaceSpec]:
+        """One m_axi bundle per field argument, plus one for the small data."""
+        interfaces: list[InterfaceSpec] = []
+        for info in analysis.arguments:
+            if info.is_field:
+                interfaces.append(
+                    InterfaceSpec(info.name, f"gmem_{info.name}", "m_axi",
+                                  "out" if info.kind == "field_output" else "in")
+                )
+            elif info.kind == "small_data":
+                bundle = "gmem_small" if bundle_small_data else f"gmem_{info.name}"
+                interfaces.append(InterfaceSpec(info.name, bundle, "m_axi", "in", is_small_data=True))
+            else:
+                interfaces.append(InterfaceSpec(info.name, "control", "s_axilite", "in"))
+        return interfaces
+
+    @staticmethod
+    def field_bytes(analysis: StencilKernelAnalysis) -> dict[str, int]:
+        return {
+            info.name: info.num_elements * info.element_bits // 8
+            for info in analysis.arguments
+            if info.is_field or info.kind == "small_data"
+        }

@@ -1,0 +1,99 @@
+"""Behavioural model of StencilFlow.
+
+StencilFlow maps stencil programs described in JSON onto spatial dataflow
+pipelines on top of DaCe.  Behaviours reproduced from §4 of the paper:
+
+* the PW advection kernel compiles (its resource usage appears in Table 1,
+  close to Stencil-HMLS's: it also builds shift-buffer pipelines and reaches
+  an II of 1) but the generated design never completes execution — a likely
+  deadlock — so no runtime numbers exist;
+* the tracer advection kernel cannot be expressed at all because StencilFlow
+  lacks support for the subselections that benchmark relies on;
+* being built on DaCe, it inherits the single-bank limitation, so the
+  134M-point PW advection case cannot be handled either.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import (
+    CompilationFailure,
+    DeadlockError,
+    Framework,
+    FrameworkArtifact,
+    UnsupportedKernelError,
+)
+from repro.dialects.builtin import ModuleOp
+from repro.fpga.dataflow_sim import TimingReport
+from repro.fpga.hbm import HBMAllocationError, HBMAllocator
+from repro.fpga.resource_model import ResourceUsage, estimate_loop_kernel
+from repro.fpga.synthesis import KernelDesign, StageTiming
+
+#: Stencil chains deeper than this cannot be expressed without subselections.
+MAX_EXPRESSIBLE_STAGES = 8
+
+
+class StencilFlowFramework(Framework):
+    name = "StencilFlow"
+    supports_multi_bank = False
+    supports_cu_replication = False
+
+    def compile(self, stencil_module: ModuleOp, **options) -> FrameworkArtifact:
+        analysis = self._analyse(stencil_module)
+
+        if analysis.num_stencil_stages > MAX_EXPRESSIBLE_STAGES or analysis.num_waves > 4:
+            raise UnsupportedKernelError(
+                "StencilFlow cannot express this kernel: the chained stencil "
+                "computations require subselections, which are not supported"
+            )
+
+        try:
+            HBMAllocator(self.device, multi_bank=False).allocate(self.field_bytes(analysis))
+        except HBMAllocationError as err:
+            raise CompilationFailure(str(err)) from err
+
+        interfaces = self.default_interfaces(analysis, bundle_small_data=False)
+        ports = len({i.bundle for i in interfaces if i.protocol == "m_axi"})
+
+        # StencilFlow builds a shift-buffer pipeline much like ours, so its
+        # footprint resembles Stencil-HMLS's (Table 1) with some extra routing.
+        plane = 1
+        for extent in analysis.grid_shape[1:]:
+            plane *= extent
+        buffer_bits = len(analysis.field_inputs) * 3 * analysis.max_radius * plane * 64 * 4
+        resources = estimate_loop_kernel(
+            num_stages=analysis.num_stencil_stages * 3,
+            flops_per_point=analysis.total_flops_per_point,
+            num_ports=ports,
+            local_buffer_bits=buffer_bits,
+            pipeline_depth_scale=2.5,
+        )
+        resources = resources + ResourceUsage(dsps=analysis.total_flops_per_point * 6)
+
+        design = KernelDesign(
+            kernel_name=f"{analysis.func_name}_stencilflow",
+            framework=self.name,
+            device=self.device,
+            clock_mhz=self.device.default_clock_mhz,
+            compute_units=1,
+            ports_per_cu=ports,
+            resources=resources,
+            interfaces=interfaces,
+            notes=["II=1 dataflow pipeline", "execution deadlocks (no runtime numbers)"],
+        )
+        group = [
+            StageTiming(name=f"sf_stage_{stage.index}", kind="compute", ii=1,
+                        depth=120, trip_count=analysis.domain_points)
+            for stage in analysis.stages
+        ]
+        design.add_group(group)
+        design.bytes_moved = (
+            (len(analysis.field_inputs) + len(analysis.field_outputs))
+            * analysis.total_grid_points * 8
+        )
+        return FrameworkArtifact(self.name, design, analysis, notes=list(design.notes))
+
+    def execute(self, artifact: FrameworkArtifact) -> TimingReport:
+        raise DeadlockError(
+            "StencilFlow design did not complete execution within 10 minutes "
+            "(likely deadlock between dataflow stages)"
+        )

@@ -1,0 +1,81 @@
+"""Behavioural model of directly feeding the C kernel to AMD Xilinx Vitis HLS.
+
+This is the "HLS" column of the paper's figures/tables: the stencil kernel
+ported to C and synthesised without any restructuring.  The resulting code
+keeps its Von-Neumann structure (the same structure our
+:class:`~repro.transforms.stencil_to_scf.StencilToSCFPass` produces), so
+every loop iteration performs its external-memory reads and writes in-line:
+the initiation interval is dominated by the external read latency plus the
+floating point chain plus the write latency (~163 on the tracer advection
+critical path, §4), resources are small and independent of the problem size.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import Framework, FrameworkArtifact
+from repro.dialects.builtin import ModuleOp
+from repro.fpga.resource_model import estimate_loop_kernel
+from repro.fpga.synthesis import KernelDesign, StageTiming
+from repro.transforms.stencil_analysis import StencilKernelAnalysis
+
+#: Latency components of the un-optimised loop body (cycles).
+EXTERNAL_READ_LATENCY = 70
+EXTERNAL_WRITE_LATENCY = 65
+CYCLES_PER_FLOP = 3
+
+
+def von_neumann_ii(analysis: StencilKernelAnalysis) -> int:
+    """II of a loop nest that reads/computes/writes external memory in-line."""
+    flops = max(
+        (stage.flops for stage in analysis.stages), default=1
+    )
+    return EXTERNAL_READ_LATENCY + CYCLES_PER_FLOP * flops + EXTERNAL_WRITE_LATENCY
+
+
+class VitisHLSFramework(Framework):
+    name = "Vitis HLS"
+    supports_multi_bank = True      # connectivity written by hand, as in the paper
+    supports_cu_replication = False
+
+    #: Extra II multiplier (1.0 for plain Vitis; SODA-opt overrides).
+    ii_scale: float = 1.0
+    pipeline_depth_scale: float = 1.2
+
+    def compile(self, stencil_module: ModuleOp, **options) -> FrameworkArtifact:
+        analysis = self._analyse(stencil_module)
+        interfaces = self.default_interfaces(analysis, bundle_small_data=True)
+        ports = len({i.bundle for i in interfaces if i.protocol == "m_axi"})
+        resources = estimate_loop_kernel(
+            num_stages=analysis.num_stencil_stages,
+            flops_per_point=analysis.total_flops_per_point // max(analysis.num_stencil_stages, 1),
+            num_ports=ports,
+            pipeline_depth_scale=self.pipeline_depth_scale,
+        )
+        ii = max(int(von_neumann_ii(analysis) * self.ii_scale), 1)
+        design = KernelDesign(
+            kernel_name=f"{analysis.func_name}_{self.name.lower().replace(' ', '_').replace('-', '_')}",
+            framework=self.name,
+            device=self.device,
+            clock_mhz=self.device.default_clock_mhz,
+            compute_units=1,
+            ports_per_cu=ports,
+            resources=resources,
+            interfaces=interfaces,
+            notes=[f"critical-path II={ii}"],
+        )
+        points = analysis.domain_points
+        for stage in analysis.stages:
+            design.add_group(
+                [
+                    StageTiming(
+                        name=f"loop_nest_{stage.index}",
+                        kind="compute",
+                        ii=ii,
+                        depth=ii + 40,
+                        trip_count=points,
+                    )
+                ]
+            )
+        reads_per_stage = 3
+        design.bytes_moved = analysis.num_stencil_stages * reads_per_stage * analysis.total_grid_points * 8
+        return FrameworkArtifact(self.name, design, analysis, notes=list(design.notes))

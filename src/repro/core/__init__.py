@@ -1,0 +1,29 @@
+"""The Stencil-HMLS compiler: configuration, dataflow plan and pipeline."""
+
+from repro.core.config import CompilerOptions
+from repro.core.plan import (
+    ComputeStageSpec,
+    DataflowPlan,
+    InterfaceSpec,
+    LoadSpec,
+    ShiftSpec,
+    SmallDataCopySpec,
+    StreamSpec,
+    WavePlan,
+    WriteFieldSpec,
+    WriteSpec,
+)
+
+__all__ = [
+    "CompilerOptions",
+    "ComputeStageSpec",
+    "DataflowPlan",
+    "InterfaceSpec",
+    "LoadSpec",
+    "ShiftSpec",
+    "SmallDataCopySpec",
+    "StreamSpec",
+    "WavePlan",
+    "WriteFieldSpec",
+    "WriteSpec",
+]

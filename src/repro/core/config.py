@@ -1,0 +1,56 @@
+"""Configuration options of the Stencil-HMLS compilation flow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class CompilerOptions:
+    """Options controlling the nine-step stencil→HLS transformation (§3.3).
+
+    All defaults correspond to the behaviour evaluated in the paper; the
+    switches exist to support the ablation studies listed in DESIGN.md.
+    """
+
+    #: Step 2 — replace field interfaces with a 512-bit packed version.
+    pack_interfaces: bool = True
+    #: Interface width in bits when packing is enabled.
+    interface_width_bits: int = 512
+    #: Step 4 — split the computation of each output field into its own
+    #: concurrently running dataflow stage.
+    split_compute_per_field: bool = True
+    #: Step 8 — copy small constant data into on-chip BRAM/URAM.
+    copy_small_data_to_bram: bool = True
+    #: Step 9 — give every field argument its own AXI bundle / HBM bank;
+    #: when False everything shares a single bundle (ablation A3).
+    separate_bundles: bool = True
+    #: Bundle all small data into one shared port (paper behaviour).
+    bundle_small_data: bool = True
+    #: Target initiation interval requested through hls.pipeline.
+    target_ii: int = 1
+    #: FIFO depth used for the generated streams.
+    stream_depth: int = 16
+    #: Request replication of compute units up to the device's port budget.
+    replicate_compute_units: bool = True
+    #: Hard upper bound on compute units (0 = only limited by the device).
+    max_compute_units: int = 0
+    #: Paper future work — generate a dynamic-shape kernel so one bitstream
+    #: serves several problem sizes (extension; off by default as in the paper).
+    dynamic_shape: bool = False
+    #: Vitis-HLS optimisation level the backend is driven with.  The paper
+    #: compiles the generated LLVM-IR with -O0, as higher levels strip the
+    #: local-memory copies and inflate the II.
+    vitis_opt_level: int = 0
+
+    def validate(self) -> None:
+        if self.interface_width_bits not in (64, 128, 256, 512, 1024):
+            raise ValueError(
+                f"interface_width_bits must be a power-of-two bus width, got {self.interface_width_bits}"
+            )
+        if self.target_ii < 1:
+            raise ValueError("target_ii must be >= 1")
+        if self.stream_depth < 1:
+            raise ValueError("stream_depth must be >= 1")
+        if self.max_compute_units < 0:
+            raise ValueError("max_compute_units must be >= 0")

@@ -1,0 +1,124 @@
+"""The end-to-end Stencil-HMLS compilation pipeline (Figure 1 of the paper).
+
+Source code is turned into stencil-dialect IR by a frontend
+(:mod:`repro.frontends`); this module drives everything below that level:
+
+    stencil dialect
+      │   StencilToHLSPass (the nine automatic optimisation steps of §3.3)
+      ▼
+    HLS dialect                      ──► kept for functional simulation
+      │   HLSToLLVMPass (§3.2)
+      ▼
+    annotated LLVM dialect
+      │   f++ preprocessing + runtime linking
+      ▼
+    Vitis-HLS-like synthesis model   ──► KernelDesign
+      ▼
+    Xclbin (design + plan + IR + reports)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import CompilerOptions
+from repro.core.plan import DataflowPlan
+from repro.dialects.builtin import ModuleOp
+from repro.fpga.device import ALVEO_U280, FPGADevice
+from repro.fpga.synthesis import KernelDesign, VitisHLSBackend
+from repro.fpga.xclbin import Xclbin
+from repro.fpp.preprocessor import FPPReport, run_fpp
+from repro.ir.passes import PassManager
+from repro.ir.verifier import verify_module
+from repro.transforms.canonicalize import CanonicalizePass
+from repro.transforms.hls_to_llvm import HLSToLLVMPass
+from repro.transforms.stencil_to_hls import StencilToHLSPass
+
+
+@dataclass
+class CompilationArtifacts:
+    """All intermediate artefacts of one compilation, for inspection/tests."""
+
+    stencil_module: ModuleOp
+    hls_module: ModuleOp
+    llvm_module: ModuleOp
+    plan: DataflowPlan
+    fpp_report: FPPReport
+    design: KernelDesign
+
+
+class StencilHMLSCompiler:
+    """Compile stencil-dialect modules into simulated FPGA bitstreams."""
+
+    def __init__(
+        self,
+        options: CompilerOptions | None = None,
+        device: FPGADevice = ALVEO_U280,
+        clock_mhz: float | None = None,
+        canonicalize: bool = True,
+    ) -> None:
+        self.options = options or CompilerOptions()
+        self.options.validate()
+        self.device = device
+        self.backend = VitisHLSBackend(device, clock_mhz)
+        self.canonicalize = canonicalize
+
+    # -- public API -------------------------------------------------------------
+
+    def compile(self, stencil_module: ModuleOp, kernel_name: str | None = None) -> Xclbin:
+        """Run the full flow and return the xclbin-like artefact."""
+        artifacts = self.compile_with_artifacts(stencil_module, kernel_name)
+        return Xclbin(
+            kernel_name=artifacts.plan.kernel_name,
+            design=artifacts.design,
+            plan=artifacts.plan,
+            stencil_module=artifacts.stencil_module,
+            hls_module=artifacts.hls_module,
+            llvm_module=artifacts.llvm_module,
+            fpp_report=artifacts.fpp_report,
+        )
+
+    def compile_with_artifacts(
+        self, stencil_module: ModuleOp, kernel_name: str | None = None
+    ) -> CompilationArtifacts:
+        verify_module(stencil_module)
+        # Work on a copy so the caller keeps the stencil-level module intact.
+        working: ModuleOp = stencil_module.clone()
+
+        if self.canonicalize:
+            PassManager([CanonicalizePass()]).run(working)
+
+        # stencil → HLS (the paper's contribution).
+        stencil_to_hls = StencilToHLSPass(self.options)
+        PassManager([stencil_to_hls]).run(working)
+        if not stencil_to_hls.plans:
+            raise ValueError("module contains no stencil kernel to compile")
+        if kernel_name is not None:
+            plan = stencil_to_hls.plans.get(f"{kernel_name}_hls") or stencil_to_hls.plans.get(kernel_name)
+            if plan is None:
+                raise KeyError(f"no kernel named '{kernel_name}' was lowered")
+        else:
+            if len(stencil_to_hls.plans) != 1:
+                raise ValueError(
+                    "module contains several kernels; pass kernel_name explicitly"
+                )
+            plan = next(iter(stencil_to_hls.plans.values()))
+
+        # Keep the HLS-dialect module for functional dataflow simulation.
+        hls_module: ModuleOp = working.clone()
+
+        # HLS → annotated LLVM dialect, then f++.
+        PassManager([HLSToLLVMPass()]).run(working)
+        fpp_report = run_fpp(working)
+
+        # Vitis-HLS-like synthesis.
+        design = self.backend.synthesise(plan, fpp_report, self.options)
+
+        return CompilationArtifacts(
+            stencil_module=stencil_module,
+            hls_module=hls_module,
+            llvm_module=working,
+            plan=plan,
+            fpp_report=fpp_report,
+            design=design,
+        )

@@ -1,0 +1,231 @@
+"""The dataflow plan: a structured description of the generated FPGA kernel.
+
+The stencil→HLS transformation produces two artefacts: the HLS-dialect IR
+(what is lowered further to annotated LLVM-IR and handed to the backend) and
+a :class:`DataflowPlan` describing the same structure in an analysable form.
+The plan is what the synthesis model, the functional dataflow simulator, the
+resource/power models and the evaluation reports consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from typing import TYPE_CHECKING
+
+from repro.core.config import CompilerOptions
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (transforms imports plan)
+    from repro.transforms.stencil_analysis import StencilKernelAnalysis
+
+
+@dataclass
+class StreamSpec:
+    """One HLS FIFO stream created by the transformation."""
+
+    name: str
+    kind: str                 # 'raw_in' | 'window' | 'window_copy' | 'result'
+    element_bits: int
+    depth: int
+    producer: str = ""
+    consumer: str = ""
+
+
+@dataclass
+class InterfaceSpec:
+    """AXI interface assignment for one kernel argument (step 9)."""
+
+    arg_name: str
+    bundle: str
+    protocol: str             # 'm_axi' | 's_axilite'
+    direction: str            # 'in' | 'out' | 'inout'
+    is_small_data: bool = False
+    packed_lanes: int = 1
+    element_bits: int = 64
+
+
+@dataclass
+class LoadSpec:
+    """The specialised ``load_data`` call of one wave (step 7)."""
+
+    callee: str
+    fields: list[str]
+    lanes: int
+    grid_shape: tuple[int, ...]
+    field_lower: dict[str, tuple[int, ...]] = field(default_factory=dict)
+
+
+@dataclass
+class ShiftSpec:
+    """One ``shift_buffer`` dataflow stage (one per input field per wave)."""
+
+    callee: str
+    field_name: str
+    grid_shape: tuple[int, ...]
+    field_lower: tuple[int, ...]
+    domain_lower: tuple[int, ...]
+    domain_upper: tuple[int, ...]
+    radius: int
+    window_offsets: list[tuple[int, ...]] = field(default_factory=list)
+
+    @property
+    def window_size(self) -> int:
+        return len(self.window_offsets)
+
+    @property
+    def buffer_elements(self) -> int:
+        """Elements held on chip by the shift buffer (2·radius planes + window)."""
+        if len(self.grid_shape) == 0:
+            return 0
+        plane = 1
+        for extent in self.grid_shape[1:]:
+            plane *= extent
+        return 2 * self.radius * plane + self.window_size
+
+
+@dataclass
+class DuplicateSpec:
+    """Stream duplication stage feeding several compute stages (step 3)."""
+
+    callee: str
+    field_name: str
+    source_stream: str
+    copies: list[str]
+
+
+@dataclass
+class ComputeStageSpec:
+    """One per-output-field compute dataflow stage (steps 4 and 5)."""
+
+    label: str
+    stage_index: int
+    wave: int
+    output_fields: list[str]
+    input_windows: dict[str, str]      # field name -> window stream name
+    small_data: list[str]
+    flops_per_point: int
+    window_size: int
+    domain_points: int
+    ii: int = 1
+
+
+@dataclass
+class WriteFieldSpec:
+    field_name: str
+    lower: tuple[int, ...]
+    upper: tuple[int, ...]
+    field_lower: tuple[int, ...]
+    grid_shape: tuple[int, ...]
+
+
+@dataclass
+class WriteSpec:
+    """The ``write_data`` call of one wave (step 6)."""
+
+    callee: str
+    fields: list[WriteFieldSpec]
+    lanes: int
+
+
+@dataclass
+class SmallDataCopySpec:
+    """A BRAM/URAM copy of small constant data for one compute stage (step 8)."""
+
+    arg_name: str
+    stage_label: str
+    elements: int
+    element_bits: int
+
+
+@dataclass
+class WavePlan:
+    """All dataflow stages of one dependency wave."""
+
+    index: int
+    load: LoadSpec
+    shifts: list[ShiftSpec]
+    duplicates: list[DuplicateSpec]
+    computes: list[ComputeStageSpec]
+    write: WriteSpec
+
+    @property
+    def num_concurrent_stages(self) -> int:
+        return 1 + len(self.shifts) + len(self.duplicates) + len(self.computes) + 1
+
+
+@dataclass
+class DataflowPlan:
+    """Complete description of the generated dataflow kernel."""
+
+    kernel_name: str
+    analysis: "StencilKernelAnalysis"
+    options: CompilerOptions
+    waves: list[WavePlan] = field(default_factory=list)
+    streams: list[StreamSpec] = field(default_factory=list)
+    interfaces: list[InterfaceSpec] = field(default_factory=list)
+    small_copies: list[SmallDataCopySpec] = field(default_factory=list)
+
+    # -- derived quantities -----------------------------------------------------
+
+    @property
+    def rank(self) -> int:
+        return self.analysis.rank
+
+    @property
+    def grid_shape(self) -> tuple[int, ...]:
+        return self.analysis.grid_shape
+
+    @property
+    def domain_points(self) -> int:
+        return self.analysis.domain_points
+
+    @property
+    def num_waves(self) -> int:
+        return len(self.waves)
+
+    @property
+    def num_compute_stages(self) -> int:
+        return sum(len(w.computes) for w in self.waves)
+
+    @property
+    def ports_per_cu(self) -> int:
+        bundles = {i.bundle for i in self.interfaces if i.protocol == "m_axi"}
+        return len(bundles)
+
+    @property
+    def on_chip_buffer_bits(self) -> int:
+        """Bits of BRAM/URAM the kernel needs (shift buffers, FIFOs, copies)."""
+        bits = 0
+        for wave in self.waves:
+            for shift in wave.shifts:
+                bits += shift.buffer_elements * 64
+        for stream in self.streams:
+            bits += stream.element_bits * stream.depth
+        for copy in self.small_copies:
+            bits += copy.elements * copy.element_bits
+        return bits
+
+    def stream_by_name(self, name: str) -> StreamSpec:
+        for stream in self.streams:
+            if stream.name == name:
+                return stream
+        raise KeyError(f"no stream named '{name}' in plan")
+
+    def interface_for(self, arg_name: str) -> InterfaceSpec:
+        for interface in self.interfaces:
+            if interface.arg_name == arg_name:
+                return interface
+        raise KeyError(f"no interface for argument '{arg_name}'")
+
+    def summary(self) -> str:
+        lines = [
+            f"kernel          : {self.kernel_name}",
+            f"grid            : {'x'.join(map(str, self.grid_shape))} ({self.domain_points} domain points)",
+            f"waves           : {self.num_waves}",
+            f"compute stages  : {self.num_compute_stages}",
+            f"streams         : {len(self.streams)}",
+            f"m_axi bundles   : {self.ports_per_cu}",
+            f"small data copies: {len(self.small_copies)}",
+        ]
+        return "\n".join(lines)

@@ -1,0 +1,8 @@
+"""MLIR-style dialects used by the Stencil-HMLS flow.
+
+* ``builtin``, ``arith``, ``math``, ``func``, ``scf``, ``memref``, ``llvm`` —
+  the standard dialects the paper's lowering relies on.
+* ``stencil`` — the MLIR stencil dialect produced by the PSyclone / Devito /
+  Flang frontends.
+* ``hls`` — the paper's new dialect abstracting Vitis HLS dataflow concepts.
+"""

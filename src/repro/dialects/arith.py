@@ -1,0 +1,321 @@
+"""arith dialect: scalar integer and floating point arithmetic."""
+
+from __future__ import annotations
+
+import math
+import operator
+from typing import Callable
+
+from repro.ir.core import Attribute, Operation, Pure, SSAValue, VerifyException
+from repro.ir.attributes import FloatAttr, IntAttr, StringAttr
+from repro.ir.types import FloatType, IndexType, IntegerType, f64, i1, i64, index
+
+
+class ConstantOp(Operation):
+    """``arith.constant`` — materialise an integer/float/index constant."""
+
+    name = "arith.constant"
+    traits = frozenset([Pure])
+
+    def __init__(self, value: IntAttr | FloatAttr) -> None:
+        super().__init__(result_types=[value.type], attributes={"value": value})
+
+    @classmethod
+    def from_int(cls, value: int, type: Attribute = i64) -> "ConstantOp":
+        return cls(IntAttr(value, type))
+
+    @classmethod
+    def from_index(cls, value: int) -> "ConstantOp":
+        return cls(IntAttr(value, index))
+
+    @classmethod
+    def from_float(cls, value: float, type: Attribute = f64) -> "ConstantOp":
+        return cls(FloatAttr(value, type))
+
+    @property
+    def value(self):
+        return self.attributes["value"].value
+
+    def verify_(self) -> None:
+        if self.attributes["value"].type != self.result.type:
+            raise VerifyException("arith.constant: attribute/result type mismatch")
+
+
+class _BinaryOp(Operation):
+    """Shared implementation for elementwise binary scalar operations."""
+
+    traits = frozenset([Pure])
+    py_func: Callable = operator.add
+    requires_float = False
+    requires_int = False
+
+    def __init__(self, lhs: SSAValue, rhs: SSAValue, result_type: Attribute | None = None) -> None:
+        super().__init__(operands=[lhs, rhs], result_types=[result_type or lhs.type])
+
+    @property
+    def lhs(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> SSAValue:
+        return self.operands[1]
+
+    def verify_(self) -> None:
+        lhs_t, rhs_t = self.lhs.type, self.rhs.type
+        if lhs_t != rhs_t:
+            raise VerifyException(f"{self.name}: operand types differ ({lhs_t} vs {rhs_t})")
+        if self.requires_float and not isinstance(lhs_t, FloatType):
+            raise VerifyException(f"{self.name}: requires floating point operands, got {lhs_t}")
+        if self.requires_int and not isinstance(lhs_t, (IntegerType, IndexType)):
+            raise VerifyException(f"{self.name}: requires integer operands, got {lhs_t}")
+
+
+class AddfOp(_BinaryOp):
+    name = "arith.addf"
+    py_func = operator.add
+    requires_float = True
+
+
+class SubfOp(_BinaryOp):
+    name = "arith.subf"
+    py_func = operator.sub
+    requires_float = True
+
+
+class MulfOp(_BinaryOp):
+    name = "arith.mulf"
+    py_func = operator.mul
+    requires_float = True
+
+
+class DivfOp(_BinaryOp):
+    name = "arith.divf"
+    py_func = operator.truediv
+    requires_float = True
+
+
+class MaximumfOp(_BinaryOp):
+    name = "arith.maximumf"
+    py_func = max
+    requires_float = True
+
+
+class MinimumfOp(_BinaryOp):
+    name = "arith.minimumf"
+    py_func = min
+    requires_float = True
+
+
+class AddiOp(_BinaryOp):
+    name = "arith.addi"
+    py_func = operator.add
+    requires_int = True
+
+
+class SubiOp(_BinaryOp):
+    name = "arith.subi"
+    py_func = operator.sub
+    requires_int = True
+
+
+class MuliOp(_BinaryOp):
+    name = "arith.muli"
+    py_func = operator.mul
+    requires_int = True
+
+
+class DivsiOp(_BinaryOp):
+    name = "arith.divsi"
+    py_func = operator.floordiv
+    requires_int = True
+
+
+class RemsiOp(_BinaryOp):
+    name = "arith.remsi"
+    py_func = operator.mod
+    requires_int = True
+
+
+class MaxsiOp(_BinaryOp):
+    name = "arith.maxsi"
+    py_func = max
+    requires_int = True
+
+
+class MinsiOp(_BinaryOp):
+    name = "arith.minsi"
+    py_func = min
+    requires_int = True
+
+
+class NegfOp(Operation):
+    name = "arith.negf"
+    traits = frozenset([Pure])
+
+    def __init__(self, operand: SSAValue) -> None:
+        super().__init__(operands=[operand], result_types=[operand.type])
+
+    @property
+    def operand(self) -> SSAValue:
+        return self.operands[0]
+
+
+_CMPF_PREDICATES = {
+    "oeq": operator.eq,
+    "one": operator.ne,
+    "olt": operator.lt,
+    "ole": operator.le,
+    "ogt": operator.gt,
+    "oge": operator.ge,
+}
+
+_CMPI_PREDICATES = {
+    "eq": operator.eq,
+    "ne": operator.ne,
+    "slt": operator.lt,
+    "sle": operator.le,
+    "sgt": operator.gt,
+    "sge": operator.ge,
+    "ult": operator.lt,
+    "ule": operator.le,
+    "ugt": operator.gt,
+    "uge": operator.ge,
+}
+
+
+class CmpfOp(Operation):
+    """``arith.cmpf`` — ordered floating point comparison, yields ``i1``."""
+
+    name = "arith.cmpf"
+    traits = frozenset([Pure])
+
+    def __init__(self, predicate: str, lhs: SSAValue, rhs: SSAValue) -> None:
+        if predicate not in _CMPF_PREDICATES:
+            raise VerifyException(f"arith.cmpf: unknown predicate '{predicate}'")
+        super().__init__(
+            operands=[lhs, rhs],
+            result_types=[i1],
+            attributes={"predicate": StringAttr(predicate)},
+        )
+
+    @property
+    def predicate(self) -> str:
+        return self.attributes["predicate"].data
+
+    @property
+    def py_func(self) -> Callable:
+        return _CMPF_PREDICATES[self.predicate]
+
+
+class CmpiOp(Operation):
+    """``arith.cmpi`` — integer comparison, yields ``i1``."""
+
+    name = "arith.cmpi"
+    traits = frozenset([Pure])
+
+    def __init__(self, predicate: str, lhs: SSAValue, rhs: SSAValue) -> None:
+        if predicate not in _CMPI_PREDICATES:
+            raise VerifyException(f"arith.cmpi: unknown predicate '{predicate}'")
+        super().__init__(
+            operands=[lhs, rhs],
+            result_types=[i1],
+            attributes={"predicate": StringAttr(predicate)},
+        )
+
+    @property
+    def predicate(self) -> str:
+        return self.attributes["predicate"].data
+
+    @property
+    def py_func(self) -> Callable:
+        return _CMPI_PREDICATES[self.predicate]
+
+
+class SelectOp(Operation):
+    """``arith.select`` — ternary select on an ``i1`` condition."""
+
+    name = "arith.select"
+    traits = frozenset([Pure])
+
+    def __init__(self, condition: SSAValue, true_value: SSAValue, false_value: SSAValue) -> None:
+        super().__init__(
+            operands=[condition, true_value, false_value],
+            result_types=[true_value.type],
+        )
+
+    @property
+    def condition(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def true_value(self) -> SSAValue:
+        return self.operands[1]
+
+    @property
+    def false_value(self) -> SSAValue:
+        return self.operands[2]
+
+    def verify_(self) -> None:
+        if self.true_value.type != self.false_value.type:
+            raise VerifyException("arith.select: branch value types differ")
+
+
+class IndexCastOp(Operation):
+    """``arith.index_cast`` — convert between index and integer types."""
+
+    name = "arith.index_cast"
+    traits = frozenset([Pure])
+
+    def __init__(self, operand: SSAValue, result_type: Attribute) -> None:
+        super().__init__(operands=[operand], result_types=[result_type])
+
+    @property
+    def input(self) -> SSAValue:
+        return self.operands[0]
+
+
+class SIToFPOp(Operation):
+    name = "arith.sitofp"
+    traits = frozenset([Pure])
+
+    def __init__(self, operand: SSAValue, result_type: Attribute = f64) -> None:
+        super().__init__(operands=[operand], result_types=[result_type])
+
+    @property
+    def input(self) -> SSAValue:
+        return self.operands[0]
+
+
+class FPToSIOp(Operation):
+    name = "arith.fptosi"
+    traits = frozenset([Pure])
+
+    def __init__(self, operand: SSAValue, result_type: Attribute = i64) -> None:
+        super().__init__(operands=[operand], result_types=[result_type])
+
+    @property
+    def input(self) -> SSAValue:
+        return self.operands[0]
+
+
+class ExtFOp(Operation):
+    name = "arith.extf"
+    traits = frozenset([Pure])
+
+    def __init__(self, operand: SSAValue, result_type: Attribute = f64) -> None:
+        super().__init__(operands=[operand], result_types=[result_type])
+
+
+class TruncFOp(Operation):
+    name = "arith.truncf"
+    traits = frozenset([Pure])
+
+    def __init__(self, operand: SSAValue, result_type: Attribute) -> None:
+        super().__init__(operands=[operand], result_types=[result_type])
+
+
+#: All binary arithmetic op classes, used by the interpreter and cost models.
+BINARY_OPS = (
+    AddfOp, SubfOp, MulfOp, DivfOp, MaximumfOp, MinimumfOp,
+    AddiOp, SubiOp, MuliOp, DivsiOp, RemsiOp, MaxsiOp, MinsiOp,
+)

@@ -1,0 +1,89 @@
+"""Builtin dialect: the module container and conversion casts."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.core import Attribute, Block, Operation, Region
+from repro.ir.attributes import StringAttr
+
+# Re-export the type and attribute constructors so dialect users can write
+# ``from repro.dialects.builtin import f64, IntAttr`` like they would in xDSL.
+from repro.ir.types import (  # noqa: F401
+    DYNAMIC,
+    FloatType,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    LLVMArrayType,
+    LLVMPointerType,
+    LLVMStructType,
+    LLVMVoidType,
+    MemRefType,
+    NoneType,
+    TensorType,
+    VectorType,
+    bitwidth_of,
+    f16,
+    f32,
+    f64,
+    i1,
+    i8,
+    i32,
+    i64,
+    index,
+    packed_interface_type,
+)
+from repro.ir.attributes import (  # noqa: F401
+    ArrayAttr,
+    BoolAttr,
+    DenseIntArrayAttr,
+    DictionaryAttr,
+    FloatAttr,
+    IntAttr,
+    StringAttr,
+    SymbolRefAttr,
+    TypeAttr,
+    UnitAttr,
+    py_value,
+    unit,
+)
+
+
+class ModuleOp(Operation):
+    """Top-level container; all compilation pipelines operate on a module."""
+
+    name = "builtin.module"
+
+    def __init__(self, ops: Sequence[Operation] = (), attributes: dict | None = None) -> None:
+        body = Block()
+        body.add_ops(ops)
+        super().__init__(regions=[Region([body])], attributes=attributes)
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].blocks[0]
+
+    def add_op(self, op: Operation) -> Operation:
+        return self.body.add_op(op)
+
+    def get_symbol(self, name: str) -> Operation | None:
+        """Look up a symbol-defining operation (e.g. a function) by name."""
+        for op in self.body.ops:
+            sym = op.attributes.get("sym_name")
+            if isinstance(sym, StringAttr) and sym.data == name:
+                return op
+        return None
+
+
+class UnrealizedConversionCastOp(Operation):
+    """Bridges values across dialect type systems during progressive lowering."""
+
+    name = "builtin.unrealized_conversion_cast"
+
+    def __init__(self, operand, result_type: Attribute) -> None:
+        super().__init__(operands=[operand], result_types=[result_type])
+
+    @property
+    def input(self):
+        return self.operands[0]

@@ -1,0 +1,136 @@
+"""func dialect: functions, calls and returns."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.core import (
+    Attribute,
+    Block,
+    IsTerminator,
+    Operation,
+    Region,
+    SSAValue,
+    VerifyException,
+)
+from repro.ir.attributes import StringAttr, TypeAttr, UnitAttr
+from repro.ir.types import FunctionType
+
+
+class FuncOp(Operation):
+    """``func.func`` — a named function.
+
+    A function with an empty body region acts as a declaration (this is how
+    the HLS→LLVM lowering encodes directive functions and the runtime's
+    ``load_data`` / ``shift_buffer`` / ``write_data`` externals).
+    """
+
+    name = "func.func"
+
+    def __init__(
+        self,
+        sym_name: str,
+        function_type: FunctionType,
+        body: Region | None = None,
+        visibility: str = "public",
+        attributes: dict[str, Attribute] | None = None,
+    ) -> None:
+        attrs: dict[str, Attribute] = dict(attributes or {})
+        attrs["sym_name"] = StringAttr(sym_name)
+        attrs["function_type"] = TypeAttr(function_type)
+        attrs["visibility"] = StringAttr(visibility)
+        regions = [body if body is not None else Region()]
+        super().__init__(attributes=attrs, regions=regions)
+
+    @classmethod
+    def declaration(cls, sym_name: str, inputs: Sequence[Attribute], outputs: Sequence[Attribute]) -> "FuncOp":
+        return cls(sym_name, FunctionType(inputs, outputs), visibility="private")
+
+    @classmethod
+    def with_body(
+        cls,
+        sym_name: str,
+        inputs: Sequence[Attribute],
+        outputs: Sequence[Attribute],
+        attributes: dict[str, Attribute] | None = None,
+    ) -> "FuncOp":
+        """Create a function with a single entry block whose args match ``inputs``."""
+        body = Region([Block(inputs)])
+        return cls(sym_name, FunctionType(inputs, outputs), body=body, attributes=attributes)
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def sym_name(self) -> str:
+        return self.attributes["sym_name"].data
+
+    @property
+    def function_type(self) -> FunctionType:
+        return self.attributes["function_type"].type
+
+    @property
+    def body(self) -> Region:
+        return self.regions[0]
+
+    @property
+    def is_declaration(self) -> bool:
+        return not self.body.blocks or not self.body.blocks[0].ops
+
+    @property
+    def entry_block(self) -> Block:
+        if not self.body.blocks:
+            raise VerifyException(f"function '{self.sym_name}' has no body")
+        return self.body.blocks[0]
+
+    @property
+    def args(self) -> tuple[SSAValue, ...]:
+        return tuple(self.entry_block.args)
+
+    def set_function_type(self, function_type: FunctionType) -> None:
+        self.attributes["function_type"] = TypeAttr(function_type)
+
+    def verify_(self) -> None:
+        if self.body.blocks and self.body.blocks[0].ops:
+            entry = self.body.blocks[0]
+            if len(entry.args) != len(self.function_type.inputs):
+                raise VerifyException(
+                    f"func.func '{self.sym_name}': entry block has {len(entry.args)} "
+                    f"arguments but the type declares {len(self.function_type.inputs)}"
+                )
+
+
+class ReturnOp(Operation):
+    """``func.return`` — terminator returning values from a function."""
+
+    name = "func.return"
+    traits = frozenset([IsTerminator])
+
+    def __init__(self, operands: Sequence[SSAValue] = ()) -> None:
+        super().__init__(operands=operands)
+
+
+class CallOp(Operation):
+    """``func.call`` — direct call to a named function.
+
+    Calls to void functions with well-known names are the vehicle the paper
+    uses to carry HLS directives through LLVM-IR (see §3.2); ``f++`` later
+    pattern-matches those names.
+    """
+
+    name = "func.call"
+
+    def __init__(
+        self,
+        callee: str,
+        operands: Sequence[SSAValue] = (),
+        result_types: Sequence[Attribute] = (),
+    ) -> None:
+        super().__init__(
+            operands=operands,
+            result_types=result_types,
+            attributes={"callee": StringAttr(callee)},
+        )
+
+    @property
+    def callee(self) -> str:
+        return self.attributes["callee"].data

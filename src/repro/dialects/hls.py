@@ -1,0 +1,316 @@
+"""hls dialect: the paper's new MLIR dialect for FPGA high-level synthesis.
+
+It replicates the Vitis HLS feature set in a vendor-agnostic way (§3.1):
+two attributes (``hls.axi_protocol`` and ``hls.streamtype``) and ten
+operations (interface, pipeline, unroll, array_partition, dataflow,
+create_stream, read, write, empty, full).  The dialect can be lowered to
+annotated LLVM-IR (this repository, §3.2) or alternatively to a
+CIRCT-style structural representation (future work in the paper,
+implemented as an extension in ``repro.transforms.hls_to_circt``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.core import (
+    Attribute,
+    Block,
+    Operation,
+    Region,
+    SSAValue,
+    TypeAttribute,
+    VerifyException,
+)
+from repro.ir.attributes import IntAttr, StringAttr
+from repro.ir.types import i1
+
+
+# ---------------------------------------------------------------------------
+# Attributes (Listing 2)
+# ---------------------------------------------------------------------------
+
+#: AXI protocol codes, mirroring the i32 encoding the dialect uses.
+AXI_PROTOCOLS = {
+    "m_axi": 0,       # memory-mapped AXI4 master (bulk data)
+    "axis": 1,        # AXI4-Stream
+    "s_axilite": 2,   # control/status register interface
+}
+
+
+class AxiProtocolAttr(Attribute):
+    """``hls.axi_protocol`` — which AXI protocol a kernel interface uses."""
+
+    name = "hls.axi_protocol"
+
+    def __init__(self, protocol: str | int) -> None:
+        if isinstance(protocol, int):
+            reverse = {v: k for k, v in AXI_PROTOCOLS.items()}
+            if protocol not in reverse:
+                raise VerifyException(f"unknown AXI protocol code {protocol}")
+            protocol = reverse[protocol]
+        if protocol not in AXI_PROTOCOLS:
+            raise VerifyException(f"unknown AXI protocol '{protocol}'")
+        self.protocol = protocol
+
+    @property
+    def code(self) -> int:
+        return AXI_PROTOCOLS[self.protocol]
+
+    def __str__(self) -> str:
+        return f"#hls.axi_protocol<{self.protocol}>"
+
+
+class StreamType(TypeAttribute):
+    """``hls.streamtype`` — the type of an HLS FIFO stream of elements."""
+
+    name = "hls.streamtype"
+
+    def __init__(self, element_type: Attribute) -> None:
+        self.element_type = element_type
+
+    def __str__(self) -> str:
+        return f"!hls.stream<{self.element_type}>"
+
+
+# Default FIFO depth used when creating streams (matches the runtime).
+DEFAULT_STREAM_DEPTH = 16
+
+
+# ---------------------------------------------------------------------------
+# Operations (Listing 3)
+# ---------------------------------------------------------------------------
+
+
+class InterfaceOp(Operation):
+    """``hls.interface`` — bind a kernel argument to an AXI interface bundle.
+
+    Step 9 of the transformation assigns each input/output argument to its
+    own bundle (and HBM bank) to maximise external bandwidth; small constant
+    data shares a single bundle to avoid wasting ports.
+    """
+
+    name = "hls.interface"
+
+    def __init__(
+        self,
+        argument: SSAValue,
+        protocol: AxiProtocolAttr | str,
+        bundle: str,
+    ) -> None:
+        if isinstance(protocol, str):
+            protocol = AxiProtocolAttr(protocol)
+        super().__init__(
+            operands=[argument],
+            attributes={"protocol": protocol, "bundle": StringAttr(bundle)},
+        )
+
+    @property
+    def argument(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def protocol(self) -> str:
+        return self.attributes["protocol"].protocol
+
+    @property
+    def bundle(self) -> str:
+        return self.attributes["bundle"].data
+
+
+class PipelineOp(Operation):
+    """``hls.pipeline`` — request pipelining of the enclosing loop with a target II."""
+
+    name = "hls.pipeline"
+
+    def __init__(self, ii: int = 1) -> None:
+        if ii < 1:
+            raise VerifyException("hls.pipeline: initiation interval must be >= 1")
+        super().__init__(attributes={"ii": IntAttr(ii)})
+
+    @property
+    def ii(self) -> int:
+        return self.attributes["ii"].value
+
+
+class UnrollOp(Operation):
+    """``hls.unroll`` — request unrolling of the enclosing loop by a factor."""
+
+    name = "hls.unroll"
+
+    def __init__(self, factor: int = 0) -> None:
+        if factor < 0:
+            raise VerifyException("hls.unroll: factor must be >= 0 (0 = full unroll)")
+        super().__init__(attributes={"factor": IntAttr(factor)})
+
+    @property
+    def factor(self) -> int:
+        return self.attributes["factor"].value
+
+
+class ArrayPartitionOp(Operation):
+    """``hls.array_partition`` — partition a local array across BRAM banks."""
+
+    name = "hls.array_partition"
+
+    def __init__(
+        self,
+        array: SSAValue | None = None,
+        kind: str = "complete",
+        factor: int = 0,
+        dim: int = 0,
+    ) -> None:
+        operands = [array] if array is not None else []
+        super().__init__(
+            operands=operands,
+            attributes={
+                "kind": StringAttr(kind),
+                "factor": IntAttr(factor),
+                "dim": IntAttr(dim),
+            },
+        )
+
+    @property
+    def kind(self) -> str:
+        return self.attributes["kind"].data
+
+
+class DataflowOp(Operation):
+    """``hls.dataflow`` — a region of concurrently executing dataflow stages.
+
+    Stages inside separate dataflow regions run concurrently for different
+    elements, connected through streams; this is the construct the paper
+    uses to express the load → shift-buffer → duplicate → compute → write
+    structure of Figure 3.
+    """
+
+    name = "hls.dataflow"
+
+    def __init__(self, body: Region | None = None, label: str | None = None) -> None:
+        attrs = {"label": StringAttr(label)} if label else {}
+        super().__init__(
+            regions=[body if body is not None else Region([Block()])],
+            attributes=attrs,
+        )
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].blocks[0]
+
+    @property
+    def label(self) -> str:
+        attr = self.attributes.get("label")
+        return attr.data if isinstance(attr, StringAttr) else ""
+
+
+class CreateStreamOp(Operation):
+    """``hls.create_stream`` — create a FIFO stream of a given element type."""
+
+    name = "hls.create_stream"
+
+    def __init__(self, element_type: Attribute, depth: int = DEFAULT_STREAM_DEPTH, name_hint: str | None = None) -> None:
+        if depth < 1:
+            raise VerifyException("hls.create_stream: depth must be >= 1")
+        super().__init__(
+            result_types=[StreamType(element_type)],
+            attributes={"depth": IntAttr(depth)},
+        )
+        if name_hint:
+            self.result.name_hint = name_hint
+
+    @property
+    def element_type(self) -> Attribute:
+        return self.result.type.element_type
+
+    @property
+    def depth(self) -> int:
+        return self.attributes["depth"].value
+
+    @property
+    def stream(self) -> SSAValue:
+        return self.result
+
+
+class ReadOp(Operation):
+    """``hls.read`` — blocking pop of one element from a stream."""
+
+    name = "hls.read"
+
+    def __init__(self, stream: SSAValue) -> None:
+        if not isinstance(stream.type, StreamType):
+            raise VerifyException("hls.read: operand must be an hls stream")
+        super().__init__(operands=[stream], result_types=[stream.type.element_type])
+
+    @property
+    def stream(self) -> SSAValue:
+        return self.operands[0]
+
+
+class WriteOp(Operation):
+    """``hls.write`` — blocking push of one element onto a stream."""
+
+    name = "hls.write"
+
+    def __init__(self, stream: SSAValue, value: SSAValue) -> None:
+        if not isinstance(stream.type, StreamType):
+            raise VerifyException("hls.write: first operand must be an hls stream")
+        super().__init__(operands=[stream, value])
+
+    @property
+    def stream(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def value(self) -> SSAValue:
+        return self.operands[1]
+
+    def verify_(self) -> None:
+        if self.value.type != self.stream.type.element_type:
+            raise VerifyException(
+                "hls.write: value type does not match the stream element type"
+            )
+
+
+class EmptyOp(Operation):
+    """``hls.empty`` — non-blocking emptiness test of a stream."""
+
+    name = "hls.empty"
+
+    def __init__(self, stream: SSAValue) -> None:
+        if not isinstance(stream.type, StreamType):
+            raise VerifyException("hls.empty: operand must be an hls stream")
+        super().__init__(operands=[stream], result_types=[i1])
+
+    @property
+    def stream(self) -> SSAValue:
+        return self.operands[0]
+
+
+class FullOp(Operation):
+    """``hls.full`` — non-blocking fullness test of a stream."""
+
+    name = "hls.full"
+
+    def __init__(self, stream: SSAValue) -> None:
+        if not isinstance(stream.type, StreamType):
+            raise VerifyException("hls.full: operand must be an hls stream")
+        super().__init__(operands=[stream], result_types=[i1])
+
+    @property
+    def stream(self) -> SSAValue:
+        return self.operands[0]
+
+
+#: The ten operations of the dialect, as enumerated in the paper.
+DIALECT_OPERATIONS = (
+    InterfaceOp,
+    PipelineOp,
+    UnrollOp,
+    ArrayPartitionOp,
+    DataflowOp,
+    CreateStreamOp,
+    ReadOp,
+    WriteOp,
+    EmptyOp,
+    FullOp,
+)

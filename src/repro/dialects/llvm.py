@@ -1,0 +1,233 @@
+"""llvm dialect (subset): the operations the HLS→LLVM lowering emits.
+
+The paper's lowering (§3.2) produces LLVM-IR in which
+
+* HLS directives appear as calls to empty void functions with well-known
+  names (so they do not perturb the IR structure), and
+* HLS streams appear as pointers to single-element structs, with a call to
+  the ``llvm.fpga.set.stream.depth`` intrinsic on the first struct element
+  obtained through a ``getelementptr`` with offset ``[0, 0]``.
+
+This module provides exactly that vocabulary.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.core import Attribute, IsTerminator, Operation, Pure, SSAValue, VerifyException
+from repro.ir.attributes import ArrayAttr, IntAttr, StringAttr, TypeAttr
+from repro.ir.types import (
+    LLVMArrayType,
+    LLVMPointerType,
+    LLVMStructType,
+    LLVMVoidType,
+    i32,
+    i64,
+)
+
+#: Name of the Vitis intrinsic that declares a stream's FIFO depth.
+SET_STREAM_DEPTH_INTRINSIC = "llvm.fpga.set.stream.depth"
+
+
+class LLVMFuncOp(Operation):
+    """``llvm.func`` — declaration of an external function / intrinsic."""
+
+    name = "llvm.func"
+
+    def __init__(self, sym_name: str, arg_types: Sequence[Attribute], result_type: Attribute | None = None) -> None:
+        super().__init__(
+            attributes={
+                "sym_name": StringAttr(sym_name),
+                "arg_types": ArrayAttr([TypeAttr(t) for t in arg_types]),
+                "result_type": TypeAttr(result_type if result_type is not None else LLVMVoidType()),
+            }
+        )
+
+    @property
+    def sym_name(self) -> str:
+        return self.attributes["sym_name"].data
+
+
+class CallOp(Operation):
+    """``llvm.call`` — call to a named function (possibly an annotation)."""
+
+    name = "llvm.call"
+
+    def __init__(
+        self,
+        callee: str,
+        operands: Sequence[SSAValue] = (),
+        result_types: Sequence[Attribute] = (),
+    ) -> None:
+        super().__init__(
+            operands=operands,
+            result_types=result_types,
+            attributes={"callee": StringAttr(callee)},
+        )
+
+    @property
+    def callee(self) -> str:
+        return self.attributes["callee"].data
+
+
+class AllocaOp(Operation):
+    """``llvm.alloca`` — allocate stack storage, yielding a typed pointer."""
+
+    name = "llvm.alloca"
+
+    def __init__(self, count: SSAValue, pointee_type: Attribute) -> None:
+        super().__init__(
+            operands=[count],
+            result_types=[LLVMPointerType(pointee_type)],
+            attributes={"elem_type": TypeAttr(pointee_type)},
+        )
+
+    @property
+    def pointee_type(self) -> Attribute:
+        return self.attributes["elem_type"].type
+
+
+class GEPOp(Operation):
+    """``llvm.getelementptr`` — pointer arithmetic with constant indices.
+
+    The offsets are stored as an attribute; offset ``[0, 0]`` on a stream
+    struct pointer yields the pointer to the first element that the
+    ``set.stream.depth`` intrinsic requires (§3.2 condition 2).
+    """
+
+    name = "llvm.getelementptr"
+    traits = frozenset([Pure])
+
+    def __init__(self, pointer: SSAValue, indices: Sequence[int], result_pointee: Attribute) -> None:
+        super().__init__(
+            operands=[pointer],
+            result_types=[LLVMPointerType(result_pointee)],
+            attributes={
+                "rawConstantIndices": ArrayAttr([IntAttr(i, i32) for i in indices]),
+            },
+        )
+
+    @property
+    def pointer(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def indices(self) -> tuple[int, ...]:
+        return tuple(a.value for a in self.attributes["rawConstantIndices"].data)
+
+    def verify_(self) -> None:
+        if not isinstance(self.pointer.type, LLVMPointerType):
+            raise VerifyException("llvm.getelementptr: operand must be a pointer")
+
+
+class LoadOp(Operation):
+    name = "llvm.load"
+
+    def __init__(self, pointer: SSAValue, result_type: Attribute) -> None:
+        super().__init__(operands=[pointer], result_types=[result_type])
+
+    @property
+    def pointer(self) -> SSAValue:
+        return self.operands[0]
+
+
+class StoreOp(Operation):
+    name = "llvm.store"
+
+    def __init__(self, value: SSAValue, pointer: SSAValue) -> None:
+        super().__init__(operands=[value, pointer])
+
+    @property
+    def value(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def pointer(self) -> SSAValue:
+        return self.operands[1]
+
+
+class UndefOp(Operation):
+    name = "llvm.mlir.undef"
+    traits = frozenset([Pure])
+
+    def __init__(self, result_type: Attribute) -> None:
+        super().__init__(result_types=[result_type])
+
+
+class ConstantOp(Operation):
+    name = "llvm.mlir.constant"
+    traits = frozenset([Pure])
+
+    def __init__(self, value: int, result_type: Attribute = i64) -> None:
+        super().__init__(
+            result_types=[result_type],
+            attributes={"value": IntAttr(int(value), i64)},
+        )
+
+    @property
+    def value(self) -> int:
+        return self.attributes["value"].value
+
+
+class ExtractValueOp(Operation):
+    """``llvm.extractvalue`` — read a field of a struct/array SSA value."""
+
+    name = "llvm.extractvalue"
+    traits = frozenset([Pure])
+
+    def __init__(self, container: SSAValue, indices: Sequence[int], result_type: Attribute) -> None:
+        super().__init__(
+            operands=[container],
+            result_types=[result_type],
+            attributes={"position": ArrayAttr([IntAttr(i, i64) for i in indices])},
+        )
+
+    @property
+    def position(self) -> tuple[int, ...]:
+        return tuple(a.value for a in self.attributes["position"].data)
+
+
+class InsertValueOp(Operation):
+    """``llvm.insertvalue`` — write a field of a struct/array SSA value."""
+
+    name = "llvm.insertvalue"
+    traits = frozenset([Pure])
+
+    def __init__(self, container: SSAValue, value: SSAValue, indices: Sequence[int]) -> None:
+        super().__init__(
+            operands=[container, value],
+            result_types=[container.type],
+            attributes={"position": ArrayAttr([IntAttr(i, i64) for i in indices])},
+        )
+
+    @property
+    def position(self) -> tuple[int, ...]:
+        return tuple(a.value for a in self.attributes["position"].data)
+
+
+class ReturnOp(Operation):
+    name = "llvm.return"
+    traits = frozenset([IsTerminator])
+
+    def __init__(self, operands: Sequence[SSAValue] = ()) -> None:
+        super().__init__(operands=operands)
+
+
+def is_legal_stream_type(type_: Attribute) -> bool:
+    """Check the Vitis stream legality condition 1 of §3.2.
+
+    A legal stream is a pointer to a struct; the element type of the stream
+    is the (single) type contained within the struct.
+    """
+    return (
+        isinstance(type_, LLVMPointerType)
+        and isinstance(type_.pointee, LLVMStructType)
+        and len(type_.pointee.element_types) >= 1
+    )
+
+
+def stream_element_type(type_: Attribute) -> Attribute:
+    if not is_legal_stream_type(type_):
+        raise VerifyException(f"{type_} is not a legal Vitis stream type")
+    return type_.pointee.element_types[0]

@@ -1,0 +1,90 @@
+"""math dialect: transcendental scalar functions used in stencil kernels."""
+
+from __future__ import annotations
+
+import math
+from typing import Callable
+
+from repro.ir.core import Operation, Pure, SSAValue, VerifyException
+from repro.ir.types import FloatType
+
+
+class _UnaryMathOp(Operation):
+    traits = frozenset([Pure])
+    py_func: Callable = math.sqrt
+
+    def __init__(self, operand: SSAValue) -> None:
+        super().__init__(operands=[operand], result_types=[operand.type])
+
+    @property
+    def operand(self) -> SSAValue:
+        return self.operands[0]
+
+    def verify_(self) -> None:
+        if not isinstance(self.operand.type, FloatType):
+            raise VerifyException(f"{self.name}: operand must be floating point")
+
+
+class SqrtOp(_UnaryMathOp):
+    name = "math.sqrt"
+    py_func = math.sqrt
+
+
+class ExpOp(_UnaryMathOp):
+    name = "math.exp"
+    py_func = math.exp
+
+
+class LogOp(_UnaryMathOp):
+    name = "math.log"
+    py_func = math.log
+
+
+class AbsFOp(_UnaryMathOp):
+    name = "math.absf"
+    py_func = abs
+
+
+class SinOp(_UnaryMathOp):
+    name = "math.sin"
+    py_func = math.sin
+
+
+class CosOp(_UnaryMathOp):
+    name = "math.cos"
+    py_func = math.cos
+
+
+class TanhOp(_UnaryMathOp):
+    name = "math.tanh"
+    py_func = math.tanh
+
+
+class PowFOp(Operation):
+    name = "math.powf"
+    traits = frozenset([Pure])
+    py_func = staticmethod(math.pow)
+
+    def __init__(self, base: SSAValue, exponent: SSAValue) -> None:
+        super().__init__(operands=[base, exponent], result_types=[base.type])
+
+    @property
+    def lhs(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def rhs(self) -> SSAValue:
+        return self.operands[1]
+
+
+class FmaOp(Operation):
+    """Fused multiply-add: ``a * b + c``."""
+
+    name = "math.fma"
+    traits = frozenset([Pure])
+
+    def __init__(self, a: SSAValue, b: SSAValue, c: SSAValue) -> None:
+        super().__init__(operands=[a, b, c], result_types=[a.type])
+
+
+UNARY_OPS = (SqrtOp, ExpOp, LogOp, AbsFOp, SinOp, CosOp, TanhOp)

@@ -1,0 +1,183 @@
+"""memref dialect: allocation, load/store and shape queries on buffers."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.core import Attribute, Operation, Pure, SSAValue, VerifyException
+from repro.ir.attributes import IntAttr, StringAttr, TypeAttr
+from repro.ir.types import IndexType, MemRefType, index
+
+
+class AllocOp(Operation):
+    """``memref.alloc`` — heap-style allocation of a buffer."""
+
+    name = "memref.alloc"
+
+    def __init__(self, memref_type: MemRefType, dynamic_sizes: Sequence[SSAValue] = ()) -> None:
+        super().__init__(operands=list(dynamic_sizes), result_types=[memref_type])
+
+    @property
+    def memref_type(self) -> MemRefType:
+        return self.result.type
+
+
+class AllocaOp(Operation):
+    """``memref.alloca`` — stack/local (on-FPGA BRAM) allocation of a buffer.
+
+    The Stencil-HMLS transformation uses local allocations for the copies of
+    small constant data moved into BRAM/URAM (step 8 of §3.3).
+    """
+
+    name = "memref.alloca"
+
+    def __init__(self, memref_type: MemRefType, dynamic_sizes: Sequence[SSAValue] = ()) -> None:
+        super().__init__(operands=list(dynamic_sizes), result_types=[memref_type])
+
+    @property
+    def memref_type(self) -> MemRefType:
+        return self.result.type
+
+
+class DeallocOp(Operation):
+    name = "memref.dealloc"
+
+    def __init__(self, memref: SSAValue) -> None:
+        super().__init__(operands=[memref])
+
+
+class LoadOp(Operation):
+    """``memref.load`` — indexed read from a buffer."""
+
+    name = "memref.load"
+
+    def __init__(self, memref: SSAValue, indices: Sequence[SSAValue]) -> None:
+        memref_type = memref.type
+        if not isinstance(memref_type, MemRefType):
+            raise VerifyException("memref.load: operand must have memref type")
+        super().__init__(
+            operands=[memref, *indices], result_types=[memref_type.element_type]
+        )
+
+    @property
+    def memref(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def indices(self) -> tuple[SSAValue, ...]:
+        return self.operands[1:]
+
+    def verify_(self) -> None:
+        memref_type = self.memref.type
+        if isinstance(memref_type, MemRefType) and len(self.indices) != memref_type.rank:
+            raise VerifyException(
+                f"memref.load: expected {memref_type.rank} indices, got {len(self.indices)}"
+            )
+
+
+class StoreOp(Operation):
+    """``memref.store`` — indexed write to a buffer."""
+
+    name = "memref.store"
+
+    def __init__(self, value: SSAValue, memref: SSAValue, indices: Sequence[SSAValue]) -> None:
+        super().__init__(operands=[value, memref, *indices])
+
+    @property
+    def value(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def memref(self) -> SSAValue:
+        return self.operands[1]
+
+    @property
+    def indices(self) -> tuple[SSAValue, ...]:
+        return self.operands[2:]
+
+    def verify_(self) -> None:
+        memref_type = self.memref.type
+        if not isinstance(memref_type, MemRefType):
+            raise VerifyException("memref.store: target must have memref type")
+        if len(self.indices) != memref_type.rank:
+            raise VerifyException(
+                f"memref.store: expected {memref_type.rank} indices, got {len(self.indices)}"
+            )
+
+
+class DimOp(Operation):
+    """``memref.dim`` — query a (possibly dynamic) dimension size."""
+
+    name = "memref.dim"
+    traits = frozenset([Pure])
+
+    def __init__(self, memref: SSAValue, dimension: SSAValue) -> None:
+        super().__init__(operands=[memref, dimension], result_types=[index])
+
+    @property
+    def memref(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def dimension(self) -> SSAValue:
+        return self.operands[1]
+
+
+class CopyOp(Operation):
+    """``memref.copy`` — bulk copy between buffers of identical shape."""
+
+    name = "memref.copy"
+
+    def __init__(self, source: SSAValue, target: SSAValue) -> None:
+        super().__init__(operands=[source, target])
+
+    @property
+    def source(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def target(self) -> SSAValue:
+        return self.operands[1]
+
+
+class CastOp(Operation):
+    """``memref.cast`` — static/dynamic shape conversion of a memref."""
+
+    name = "memref.cast"
+    traits = frozenset([Pure])
+
+    def __init__(self, source: SSAValue, result_type: MemRefType) -> None:
+        super().__init__(operands=[source], result_types=[result_type])
+
+    @property
+    def source(self) -> SSAValue:
+        return self.operands[0]
+
+
+class GlobalOp(Operation):
+    """``memref.global`` — module-level named buffer (used for constants)."""
+
+    name = "memref.global"
+
+    def __init__(self, sym_name: str, memref_type: MemRefType) -> None:
+        super().__init__(
+            attributes={
+                "sym_name": StringAttr(sym_name),
+                "type": TypeAttr(memref_type),
+            }
+        )
+
+    @property
+    def sym_name(self) -> str:
+        return self.attributes["sym_name"].data
+
+
+class GetGlobalOp(Operation):
+    name = "memref.get_global"
+    traits = frozenset([Pure])
+
+    def __init__(self, sym_name: str, memref_type: MemRefType) -> None:
+        super().__init__(
+            result_types=[memref_type],
+            attributes={"name": StringAttr(sym_name)},
+        )

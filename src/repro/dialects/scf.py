@@ -1,0 +1,229 @@
+"""scf dialect: structured control flow (for, if, while, yield)."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.core import (
+    Attribute,
+    Block,
+    IsTerminator,
+    Operation,
+    Region,
+    SSAValue,
+    VerifyException,
+)
+from repro.ir.types import IndexType, index
+
+
+class YieldOp(Operation):
+    """``scf.yield`` — terminator forwarding values out of an scf region."""
+
+    name = "scf.yield"
+    traits = frozenset([IsTerminator])
+
+    def __init__(self, operands: Sequence[SSAValue] = ()) -> None:
+        super().__init__(operands=operands)
+
+
+class ForOp(Operation):
+    """``scf.for`` — counted loop with optional loop-carried values.
+
+    The body block receives the induction variable followed by the
+    iteration arguments; it must terminate in an ``scf.yield`` carrying the
+    next iteration's values.
+    """
+
+    name = "scf.for"
+
+    def __init__(
+        self,
+        lower_bound: SSAValue,
+        upper_bound: SSAValue,
+        step: SSAValue,
+        iter_args: Sequence[SSAValue] = (),
+        body: Region | None = None,
+    ) -> None:
+        iter_args = list(iter_args)
+        if body is None:
+            body = Region([Block([index] + [a.type for a in iter_args])])
+        super().__init__(
+            operands=[lower_bound, upper_bound, step, *iter_args],
+            result_types=[a.type for a in iter_args],
+            regions=[body],
+        )
+
+    # -- accessors -----------------------------------------------------------
+
+    @property
+    def lower_bound(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def upper_bound(self) -> SSAValue:
+        return self.operands[1]
+
+    @property
+    def step(self) -> SSAValue:
+        return self.operands[2]
+
+    @property
+    def iter_args(self) -> tuple[SSAValue, ...]:
+        return self.operands[3:]
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].blocks[0]
+
+    @property
+    def induction_variable(self) -> SSAValue:
+        return self.body.args[0]
+
+    @property
+    def body_iter_args(self) -> tuple[SSAValue, ...]:
+        return tuple(self.body.args[1:])
+
+    def verify_(self) -> None:
+        for bound in (self.lower_bound, self.upper_bound, self.step):
+            if not isinstance(bound.type, IndexType):
+                raise VerifyException("scf.for: bounds and step must have index type")
+        if len(self.body.args) != 1 + len(self.iter_args):
+            raise VerifyException(
+                "scf.for: body block must take the induction variable plus one "
+                "argument per iter_arg"
+            )
+        terminator = self.body.terminator
+        if terminator is not None and not isinstance(terminator, YieldOp):
+            raise VerifyException("scf.for: body must terminate with scf.yield")
+        if isinstance(terminator, YieldOp) and len(terminator.operands) != len(self.iter_args):
+            raise VerifyException(
+                "scf.for: scf.yield must carry exactly one value per iter_arg"
+            )
+
+
+class IfOp(Operation):
+    """``scf.if`` — conditional with a then region and an optional else region."""
+
+    name = "scf.if"
+
+    def __init__(
+        self,
+        condition: SSAValue,
+        result_types: Sequence[Attribute] = (),
+        then_region: Region | None = None,
+        else_region: Region | None = None,
+    ) -> None:
+        then_region = then_region if then_region is not None else Region([Block()])
+        else_region = else_region if else_region is not None else Region([Block()])
+        super().__init__(
+            operands=[condition],
+            result_types=result_types,
+            regions=[then_region, else_region],
+        )
+
+    @property
+    def condition(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def then_block(self) -> Block:
+        return self.regions[0].blocks[0]
+
+    @property
+    def else_block(self) -> Block:
+        return self.regions[1].blocks[0]
+
+    @property
+    def has_else(self) -> bool:
+        return bool(self.regions[1].blocks and self.regions[1].blocks[0].ops)
+
+
+class WhileOp(Operation):
+    """``scf.while`` — general while loop (before/after regions).
+
+    Only needed by a couple of baseline models; the main flow uses ``scf.for``.
+    """
+
+    name = "scf.while"
+
+    def __init__(
+        self,
+        init_args: Sequence[SSAValue],
+        result_types: Sequence[Attribute],
+        before: Region,
+        after: Region,
+    ) -> None:
+        super().__init__(
+            operands=list(init_args),
+            result_types=list(result_types),
+            regions=[before, after],
+        )
+
+
+class ConditionOp(Operation):
+    """``scf.condition`` — terminator of the "before" region of scf.while."""
+
+    name = "scf.condition"
+    traits = frozenset([IsTerminator])
+
+    def __init__(self, condition: SSAValue, args: Sequence[SSAValue] = ()) -> None:
+        super().__init__(operands=[condition, *args])
+
+
+class ParallelOp(Operation):
+    """``scf.parallel`` — multi-dimensional parallel loop nest.
+
+    Used by the CPU lowering of the stencil dialect; each dimension has a
+    lower bound, upper bound and step operand.
+    """
+
+    name = "scf.parallel"
+
+    def __init__(
+        self,
+        lower_bounds: Sequence[SSAValue],
+        upper_bounds: Sequence[SSAValue],
+        steps: Sequence[SSAValue],
+        body: Region | None = None,
+    ) -> None:
+        rank = len(lower_bounds)
+        if body is None:
+            body = Region([Block([index] * rank)])
+        super().__init__(
+            operands=[*lower_bounds, *upper_bounds, *steps],
+            regions=[body],
+        )
+        self.attributes = dict(self.attributes)
+        self._rank = rank
+
+    @property
+    def rank(self) -> int:
+        return len(self.operands) // 3
+
+    @property
+    def lower_bounds(self) -> tuple[SSAValue, ...]:
+        return self.operands[: self.rank]
+
+    @property
+    def upper_bounds(self) -> tuple[SSAValue, ...]:
+        return self.operands[self.rank : 2 * self.rank]
+
+    @property
+    def steps(self) -> tuple[SSAValue, ...]:
+        return self.operands[2 * self.rank :]
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].blocks[0]
+
+    @property
+    def induction_variables(self) -> tuple[SSAValue, ...]:
+        return tuple(self.body.args)
+
+    def verify_(self) -> None:
+        if len(self.operands) % 3 != 0:
+            raise VerifyException("scf.parallel: operand count must be 3 * rank")
+        if len(self.body.args) != self.rank:
+            raise VerifyException(
+                "scf.parallel: body must take one index argument per dimension"
+            )

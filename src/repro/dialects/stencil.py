@@ -1,0 +1,420 @@
+"""stencil dialect: high-level representation of stencil computations.
+
+This mirrors the MLIR/xDSL stencil dialect that PSyclone, Devito and Flang
+lower into (§2.2.1 of the paper).  The central operation is
+``stencil.apply``: a region executed for every grid cell, reading
+neighbouring values through ``stencil.access`` with relative offsets and
+producing the cell's outputs through ``stencil.return``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.core import (
+    Attribute,
+    Block,
+    IsTerminator,
+    Operation,
+    Pure,
+    Region,
+    SSAValue,
+    TypeAttribute,
+    VerifyException,
+)
+from repro.ir.attributes import DenseIntArrayAttr, IntAttr, StringAttr
+from repro.ir.types import DYNAMIC, FloatType, MemRefType
+
+
+# ---------------------------------------------------------------------------
+# Types
+# ---------------------------------------------------------------------------
+
+
+class FieldType(TypeAttribute):
+    """``!stencil.field<[lb,ub]x...xT>`` — a grid field backed by external memory."""
+
+    name = "stencil.field"
+
+    def __init__(self, bounds: Sequence[tuple[int, int]], element_type: Attribute) -> None:
+        self.bounds = tuple((int(lb), int(ub)) for lb, ub in bounds)
+        self.element_type = element_type
+        for lb, ub in self.bounds:
+            if ub < lb:
+                raise VerifyException(f"field bound [{lb},{ub}] is empty")
+
+    @property
+    def rank(self) -> int:
+        return len(self.bounds)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(ub - lb for lb, ub in self.bounds)
+
+    @property
+    def num_elements(self) -> int:
+        total = 1
+        for extent in self.shape:
+            total *= extent
+        return total
+
+    def __str__(self) -> str:
+        dims = "x".join(f"[{lb},{ub}]" for lb, ub in self.bounds)
+        return f"!stencil.field<{dims}x{self.element_type}>"
+
+
+class TempType(TypeAttribute):
+    """``!stencil.temp<?x...xT>`` — a value-semantics temporary grid."""
+
+    name = "stencil.temp"
+
+    def __init__(self, shape: Sequence[int], element_type: Attribute) -> None:
+        self.shape = tuple(int(s) for s in shape)
+        self.element_type = element_type
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def has_static_shape(self) -> bool:
+        return all(dim != DYNAMIC for dim in self.shape)
+
+    def __str__(self) -> str:
+        dims = "x".join("?" if d == DYNAMIC else str(d) for d in self.shape)
+        return f"!stencil.temp<{dims}x{self.element_type}>"
+
+
+class ResultType(TypeAttribute):
+    """``!stencil.result<T>`` — per-cell result produced inside an apply."""
+
+    name = "stencil.result"
+
+    def __init__(self, element_type: Attribute) -> None:
+        self.element_type = element_type
+
+    def __str__(self) -> str:
+        return f"!stencil.result<{self.element_type}>"
+
+
+def dynamic_temp_like(field: FieldType) -> TempType:
+    """A rank-matching fully dynamic temp type (what ``stencil.load`` yields)."""
+    return TempType([DYNAMIC] * field.rank, field.element_type)
+
+
+# ---------------------------------------------------------------------------
+# Operations
+# ---------------------------------------------------------------------------
+
+
+class ExternalLoadOp(Operation):
+    """``stencil.external_load`` — view external memory (a memref) as a field."""
+
+    name = "stencil.external_load"
+
+    def __init__(self, source: SSAValue, field_type: FieldType) -> None:
+        super().__init__(operands=[source], result_types=[field_type])
+
+    @property
+    def source(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def field(self) -> SSAValue:
+        return self.result
+
+    def verify_(self) -> None:
+        if not isinstance(self.result.type, FieldType):
+            raise VerifyException("stencil.external_load: result must be a field")
+
+
+class ExternalStoreOp(Operation):
+    """``stencil.external_store`` — write a field back to external memory."""
+
+    name = "stencil.external_store"
+
+    def __init__(self, field: SSAValue, target: SSAValue) -> None:
+        super().__init__(operands=[field, target])
+
+    @property
+    def field(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def target(self) -> SSAValue:
+        return self.operands[1]
+
+
+class LoadOp(Operation):
+    """``stencil.load`` — make a field readable inside apply regions."""
+
+    name = "stencil.load"
+    traits = frozenset([Pure])
+
+    def __init__(self, field: SSAValue, temp_type: TempType | None = None) -> None:
+        if temp_type is None:
+            if not isinstance(field.type, FieldType):
+                raise VerifyException("stencil.load: operand must be a field")
+            temp_type = dynamic_temp_like(field.type)
+        super().__init__(operands=[field], result_types=[temp_type])
+
+    @property
+    def field(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def temp(self) -> SSAValue:
+        return self.result
+
+
+class StoreOp(Operation):
+    """``stencil.store`` — write a temp into a field over an index range."""
+
+    name = "stencil.store"
+
+    def __init__(
+        self,
+        temp: SSAValue,
+        field: SSAValue,
+        lower_bound: Sequence[int],
+        upper_bound: Sequence[int],
+    ) -> None:
+        super().__init__(
+            operands=[temp, field],
+            attributes={
+                "lb": DenseIntArrayAttr(lower_bound),
+                "ub": DenseIntArrayAttr(upper_bound),
+            },
+        )
+
+    @property
+    def temp(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def field(self) -> SSAValue:
+        return self.operands[1]
+
+    @property
+    def lower_bound(self) -> tuple[int, ...]:
+        return self.attributes["lb"].as_tuple()
+
+    @property
+    def upper_bound(self) -> tuple[int, ...]:
+        return self.attributes["ub"].as_tuple()
+
+    def verify_(self) -> None:
+        lb, ub = self.lower_bound, self.upper_bound
+        if len(lb) != len(ub):
+            raise VerifyException("stencil.store: bound ranks differ")
+        if any(u < l for l, u in zip(lb, ub)):
+            raise VerifyException("stencil.store: empty bounds")
+        if not isinstance(self.field.type, FieldType):
+            raise VerifyException("stencil.store: target must be a field")
+
+
+class ApplyOp(Operation):
+    """``stencil.apply`` — the per-grid-cell computation.
+
+    The region's block takes one argument per operand (in order); results
+    are temps, one per value carried by the terminating ``stencil.return``.
+    """
+
+    name = "stencil.apply"
+
+    def __init__(
+        self,
+        operands: Sequence[SSAValue],
+        result_types: Sequence[TempType],
+        body: Region | None = None,
+    ) -> None:
+        if body is None:
+            body = Region([Block([o.type for o in operands])])
+        super().__init__(operands=operands, result_types=result_types, regions=[body])
+
+    @classmethod
+    def build(cls, operands: Sequence[SSAValue], result_types: Sequence[TempType]) -> "ApplyOp":
+        return cls(operands, result_types)
+
+    @property
+    def body(self) -> Block:
+        return self.regions[0].blocks[0]
+
+    @property
+    def block_args(self) -> tuple[SSAValue, ...]:
+        return tuple(self.body.args)
+
+    def arg_for_operand(self, operand: SSAValue) -> SSAValue:
+        """The block argument corresponding to a given operand."""
+        for i, op_operand in enumerate(self.operands):
+            if op_operand is operand:
+                return self.body.args[i]
+        raise ValueError("value is not an operand of this apply")
+
+    def operand_for_arg(self, arg: SSAValue) -> SSAValue:
+        for i, block_arg in enumerate(self.body.args):
+            if block_arg is arg:
+                return self.operands[i]
+        raise ValueError("value is not a block argument of this apply")
+
+    @property
+    def return_op(self) -> "ReturnOp":
+        terminator = self.body.terminator
+        if not isinstance(terminator, ReturnOp):
+            raise VerifyException("stencil.apply: body must end in stencil.return")
+        return terminator
+
+    def verify_(self) -> None:
+        if len(self.body.args) != len(self.operands):
+            raise VerifyException(
+                "stencil.apply: region must take one block argument per operand"
+            )
+        terminator = self.body.terminator
+        if not isinstance(terminator, ReturnOp):
+            raise VerifyException("stencil.apply: body must end in stencil.return")
+        if len(terminator.operands) != len(self.results):
+            raise VerifyException(
+                "stencil.apply: stencil.return carries "
+                f"{len(terminator.operands)} values but the op has {len(self.results)} results"
+            )
+
+
+class AccessOp(Operation):
+    """``stencil.access`` — read a neighbouring cell at a relative offset."""
+
+    name = "stencil.access"
+    traits = frozenset([Pure])
+
+    def __init__(self, temp: SSAValue, offset: Sequence[int]) -> None:
+        element_type = getattr(temp.type, "element_type", None)
+        if element_type is None:
+            raise VerifyException("stencil.access: operand must be a stencil temp")
+        super().__init__(
+            operands=[temp],
+            result_types=[element_type],
+            attributes={"offset": DenseIntArrayAttr(offset)},
+        )
+
+    @property
+    def temp(self) -> SSAValue:
+        return self.operands[0]
+
+    @property
+    def offset(self) -> tuple[int, ...]:
+        return self.attributes["offset"].as_tuple()
+
+    def verify_(self) -> None:
+        temp_type = self.temp.type
+        if isinstance(temp_type, TempType) and len(self.offset) != temp_type.rank:
+            raise VerifyException(
+                f"stencil.access: offset rank {len(self.offset)} does not match "
+                f"temp rank {temp_type.rank}"
+            )
+
+
+class IndexOp(Operation):
+    """``stencil.index`` — the current cell index along one dimension."""
+
+    name = "stencil.index"
+    traits = frozenset([Pure])
+
+    def __init__(self, dim: int, offset: Sequence[int] | None = None) -> None:
+        from repro.ir.types import index as index_type
+
+        super().__init__(
+            result_types=[index_type],
+            attributes={
+                "dim": IntAttr(dim),
+                "offset": DenseIntArrayAttr(offset or ()),
+            },
+        )
+
+    @property
+    def dim(self) -> int:
+        return self.attributes["dim"].value
+
+
+class DynAccessOp(Operation):
+    """``stencil.dyn_access`` — access at a data-dependent offset (bounded)."""
+
+    name = "stencil.dyn_access"
+
+    def __init__(
+        self,
+        temp: SSAValue,
+        offsets: Sequence[SSAValue],
+        lb: Sequence[int],
+        ub: Sequence[int],
+    ) -> None:
+        element_type = getattr(temp.type, "element_type", None)
+        super().__init__(
+            operands=[temp, *offsets],
+            result_types=[element_type],
+            attributes={"lb": DenseIntArrayAttr(lb), "ub": DenseIntArrayAttr(ub)},
+        )
+
+    @property
+    def temp(self) -> SSAValue:
+        return self.operands[0]
+
+
+class ReturnOp(Operation):
+    """``stencil.return`` — per-cell results of a ``stencil.apply`` region."""
+
+    name = "stencil.return"
+    traits = frozenset([IsTerminator])
+
+    def __init__(self, operands: Sequence[SSAValue]) -> None:
+        super().__init__(operands=operands)
+
+
+class CastOp(Operation):
+    """``stencil.cast`` — reinterpret the bounds of a field."""
+
+    name = "stencil.cast"
+    traits = frozenset([Pure])
+
+    def __init__(self, field: SSAValue, result_type: FieldType) -> None:
+        super().__init__(operands=[field], result_types=[result_type])
+
+    @property
+    def field(self) -> SSAValue:
+        return self.operands[0]
+
+
+# ---------------------------------------------------------------------------
+# Helpers used by the transformations
+# ---------------------------------------------------------------------------
+
+
+def access_extent(apply_op: ApplyOp) -> tuple[tuple[int, int], ...]:
+    """Per-dimension (min, max) offsets accessed by an apply region.
+
+    This determines the shift-buffer window the FPGA lowering must provide
+    (3 values in 1-D, 9 in 2-D, 27 in 3-D for unit-radius stencils).
+    """
+    rank = None
+    mins: list[int] = []
+    maxs: list[int] = []
+    for access in apply_op.walk_type(AccessOp):
+        offset = access.offset
+        if rank is None:
+            rank = len(offset)
+            mins = list(offset)
+            maxs = list(offset)
+        else:
+            for d, value in enumerate(offset):
+                mins[d] = min(mins[d], value)
+                maxs[d] = max(maxs[d], value)
+    if rank is None:
+        return ()
+    return tuple(zip(mins, maxs))
+
+
+def stencil_radius(apply_op: ApplyOp) -> int:
+    """The maximum absolute offset used by any access of the apply."""
+    radius = 0
+    for access in apply_op.walk_type(AccessOp):
+        for value in access.offset:
+            radius = max(radius, abs(value))
+    return radius

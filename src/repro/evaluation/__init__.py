@@ -1,0 +1,24 @@
+"""Evaluation harness: metrics, experiment runner, figure and table regeneration."""
+
+from repro.evaluation.metrics import FrameworkResult, megapoints_per_second
+from repro.evaluation.harness import BenchmarkCase, EvaluationHarness, DEFAULT_CASES
+from repro.evaluation.figures import figure4_performance, figure5_pw_power_energy, figure6_tracer_power_energy
+from repro.evaluation.tables import table1_pw_resources, table2_tracer_resources
+from repro.evaluation.report import format_figure, format_table, generate_all, results_to_json
+
+__all__ = [
+    "BenchmarkCase",
+    "DEFAULT_CASES",
+    "EvaluationHarness",
+    "FrameworkResult",
+    "figure4_performance",
+    "figure5_pw_power_energy",
+    "figure6_tracer_power_energy",
+    "format_figure",
+    "format_table",
+    "generate_all",
+    "megapoints_per_second",
+    "results_to_json",
+    "table1_pw_resources",
+    "table2_tracer_resources",
+]

@@ -1,0 +1,62 @@
+"""Regeneration of the paper's figures as data series.
+
+The paper's plots are bar charts; here each figure becomes a nested mapping
+``{kernel: {framework: {size: value}}}`` (plus helper accessors) that the
+report module renders as text tables and the benchmarks assert properties
+on.  Failed configurations carry ``None`` with the failure reason, exactly
+as Figure 4 omits DaCe at 134M points and StencilFlow everywhere.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Iterable
+
+from repro.evaluation.metrics import FrameworkResult
+
+#: Framework display order used by the paper's figures.
+FIGURE_FRAMEWORKS = ["Stencil-HMLS", "DaCe", "SODA-opt", "Vitis HLS"]
+
+
+def _series(
+    results: Iterable[FrameworkResult],
+    kernel: str,
+    value_of,
+    frameworks: list[str] | None = None,
+) -> dict[str, dict[str, float | None]]:
+    frameworks = frameworks or FIGURE_FRAMEWORKS
+    data: dict[str, dict[str, float | None]] = defaultdict(dict)
+    for result in results:
+        if result.kernel != kernel or result.framework not in frameworks:
+            continue
+        data[result.framework][result.size_label] = (
+            value_of(result) if result.succeeded else None
+        )
+    return {fw: dict(sizes) for fw, sizes in data.items()}
+
+
+def figure4_performance(results: Iterable[FrameworkResult]) -> dict[str, dict[str, dict[str, float | None]]]:
+    """Figure 4: performance (MPt/s, higher is better) for both kernels."""
+    results = list(results)
+    return {
+        "pw_advection": _series(results, "pw_advection", lambda r: r.mpts),
+        "tracer_advection": _series(results, "tracer_advection", lambda r: r.mpts),
+    }
+
+
+def figure5_pw_power_energy(results: Iterable[FrameworkResult]) -> dict[str, dict[str, dict[str, float | None]]]:
+    """Figure 5: average power (W) and energy (J) for PW advection (lower is better)."""
+    results = list(results)
+    return {
+        "power_w": _series(results, "pw_advection", lambda r: r.average_power_w),
+        "energy_j": _series(results, "pw_advection", lambda r: r.energy_j),
+    }
+
+
+def figure6_tracer_power_energy(results: Iterable[FrameworkResult]) -> dict[str, dict[str, dict[str, float | None]]]:
+    """Figure 6: average power (W) and energy (J) for tracer advection."""
+    results = list(results)
+    return {
+        "power_w": _series(results, "tracer_advection", lambda r: r.average_power_w),
+        "energy_j": _series(results, "tracer_advection", lambda r: r.energy_j),
+    }

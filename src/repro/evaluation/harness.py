@@ -1,0 +1,145 @@
+"""The experiment runner regenerating the paper's evaluation.
+
+For every (framework, kernel, problem size) combination the harness builds
+the stencil-dialect module at that size, compiles it with the framework's
+flow, models one execution on the simulated U280 and records performance
+(MPt/s), power, energy, resource utilisation and any failure the framework
+exhibits (compilation failure, deadlock, unsupported kernel) — the same
+outcomes §4 reports.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence, Type
+
+from repro.baselines import (
+    ALL_FRAMEWORKS,
+    CompilationFailure,
+    DeadlockError,
+    Framework,
+    UnsupportedKernelError,
+)
+from repro.dialects.builtin import ModuleOp
+from repro.evaluation.metrics import FrameworkResult
+from repro.fpga.device import ALVEO_U280, FPGADevice
+from repro.kernels.grids import PW_ADVECTION_SIZES, TRACER_ADVECTION_SIZES, ProblemSize
+from repro.kernels.pw_advection import build_pw_advection
+from repro.kernels.tracer_advection import build_tracer_advection
+
+
+@dataclass(frozen=True)
+class BenchmarkCase:
+    """One kernel at one problem size."""
+
+    kernel: str
+    size: ProblemSize
+
+    @property
+    def label(self) -> str:
+        return f"{self.kernel}/{self.size.label}"
+
+
+KERNEL_BUILDERS: dict[str, Callable[[tuple[int, int, int]], ModuleOp]] = {
+    "pw_advection": build_pw_advection,
+    "tracer_advection": build_tracer_advection,
+}
+
+KERNEL_SIZES: dict[str, dict[str, ProblemSize]] = {
+    "pw_advection": PW_ADVECTION_SIZES,
+    "tracer_advection": TRACER_ADVECTION_SIZES,
+}
+
+#: Every case evaluated in the paper (Figures 4-6, Tables 1-2).
+DEFAULT_CASES: list[BenchmarkCase] = [
+    BenchmarkCase("pw_advection", size) for size in PW_ADVECTION_SIZES.values()
+] + [
+    BenchmarkCase("tracer_advection", size) for size in TRACER_ADVECTION_SIZES.values()
+]
+
+
+@dataclass
+class EvaluationHarness:
+    """Run frameworks over benchmark cases and collect results."""
+
+    device: FPGADevice = ALVEO_U280
+    #: The paper averages every measurement over 10 runs.
+    repeats: int = 10
+    _module_cache: dict[tuple[str, tuple[int, int, int]], ModuleOp] = field(default_factory=dict)
+
+    # -- module construction -------------------------------------------------------
+
+    def build_module(self, kernel: str, shape: tuple[int, int, int]) -> ModuleOp:
+        key = (kernel, tuple(shape))
+        if key not in self._module_cache:
+            builder = KERNEL_BUILDERS.get(kernel)
+            if builder is None:
+                raise KeyError(f"unknown kernel '{kernel}' (known: {', '.join(KERNEL_BUILDERS)})")
+            self._module_cache[key] = builder(shape)
+        return self._module_cache[key]
+
+    # -- single case ------------------------------------------------------------------
+
+    def run_case(self, framework: Framework | Type[Framework], case: BenchmarkCase) -> FrameworkResult:
+        if isinstance(framework, type):
+            framework = framework(self.device)
+        result = FrameworkResult(
+            framework=framework.name,
+            kernel=case.kernel,
+            size_label=case.size.label,
+            points=case.size.points,
+        )
+        module = self.build_module(case.kernel, case.size.shape)
+        try:
+            artifact = framework.compile(module)
+        except UnsupportedKernelError as err:
+            result.status = "unsupported"
+            result.error = str(err)
+            return result
+        except CompilationFailure as err:
+            result.status = "compile_failed"
+            result.error = str(err)
+            return result
+
+        result.utilisation = artifact.utilisation()
+        result.achieved_ii = artifact.achieved_ii
+        result.compute_units = artifact.design.compute_units
+        result.notes = list(artifact.notes)
+
+        try:
+            runs = [framework.execute(artifact) for _ in range(max(self.repeats, 1))]
+        except DeadlockError as err:
+            result.status = "deadlock"
+            result.error = str(err)
+            return result
+
+        runtime_s = statistics.fmean(r.runtime_s for r in runs)
+        mpts = statistics.fmean(r.mpts for r in runs)
+        timing = runs[0]
+        power = artifact.estimate_power(timing)
+        result.runtime_s = runtime_s
+        result.mpts = mpts
+        result.average_power_w = power.average_power_w
+        result.energy_j = power.average_power_w * runtime_s
+        return result
+
+    # -- sweeps -------------------------------------------------------------------------
+
+    def run_all(
+        self,
+        frameworks: Sequence[Type[Framework]] | None = None,
+        cases: Iterable[BenchmarkCase] | None = None,
+    ) -> list[FrameworkResult]:
+        frameworks = list(frameworks) if frameworks is not None else list(ALL_FRAMEWORKS)
+        cases = list(cases) if cases is not None else list(DEFAULT_CASES)
+        results: list[FrameworkResult] = []
+        for case in cases:
+            for framework_cls in frameworks:
+                results.append(self.run_case(framework_cls, case))
+        return results
+
+    def cases_for(self, kernel: str, size_labels: Sequence[str] | None = None) -> list[BenchmarkCase]:
+        sizes = KERNEL_SIZES[kernel]
+        labels = size_labels if size_labels is not None else list(sizes)
+        return [BenchmarkCase(kernel, sizes[label]) for label in labels]

@@ -1,0 +1,50 @@
+"""Regeneration of the paper's resource-utilisation tables (Tables 1 and 2)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.evaluation.metrics import FrameworkResult
+
+#: Framework order of Table 1 (PW advection).  StencilFlow appears because
+#: its PW advection bitstreams build even though they deadlock at run time.
+TABLE1_FRAMEWORKS = ["Stencil-HMLS", "DaCe", "SODA-opt", "Vitis HLS", "StencilFlow"]
+#: Framework order of Table 2 (tracer advection): StencilFlow cannot express
+#: the kernel, so it has no rows.
+TABLE2_FRAMEWORKS = ["Stencil-HMLS", "DaCe", "SODA-opt", "Vitis HLS"]
+
+RESOURCE_COLUMNS = ["LUTs", "FFs", "BRAM", "DSPs"]
+
+
+def _resource_rows(
+    results: Iterable[FrameworkResult],
+    kernel: str,
+    frameworks: list[str],
+) -> list[dict]:
+    rows: list[dict] = []
+    for result in results:
+        if result.kernel != kernel or result.framework not in frameworks:
+            continue
+        if not result.compiled:
+            continue
+        row = {
+            "framework": result.framework,
+            "size": result.size_label,
+            "points": result.points,
+        }
+        for column in RESOURCE_COLUMNS:
+            row[column] = round(result.utilisation.get(column, 0.0), 2)
+        rows.append(row)
+    order = {name: index for index, name in enumerate(frameworks)}
+    rows.sort(key=lambda r: (order[r["framework"]], r["points"]))
+    return rows
+
+
+def table1_pw_resources(results: Iterable[FrameworkResult]) -> list[dict]:
+    """Table 1: resource usage for the PW advection kernel."""
+    return _resource_rows(list(results), "pw_advection", TABLE1_FRAMEWORKS)
+
+
+def table2_tracer_resources(results: Iterable[FrameworkResult]) -> list[dict]:
+    """Table 2: resource usage for the tracer advection kernel."""
+    return _resource_rows(list(results), "tracer_advection", TABLE2_FRAMEWORKS)

@@ -1,0 +1,46 @@
+"""Simulated FPGA substrate.
+
+The paper evaluates on an AMD Xilinx Alveo U280 driven through Vitis HLS and
+XRT/OpenCL.  None of that hardware or proprietary tooling is available here,
+so this package provides the closest synthetic equivalent (see DESIGN.md §2):
+
+* :mod:`repro.fpga.device` — device models (U280, VCK5000) with resource,
+  HBM and AXI-port budgets;
+* :mod:`repro.fpga.hbm` / :mod:`repro.fpga.axi` — external memory bandwidth
+  and interface-port allocation;
+* :mod:`repro.fpga.resource_model` / :mod:`repro.fpga.power_model` — LUT/FF/
+  BRAM/DSP estimation and the power/energy model of the measurement method
+  the paper follows;
+* :mod:`repro.fpga.synthesis` — a Vitis-HLS-like backend model turning the
+  compiled kernel into a :class:`KernelDesign` (stages, II, clock, resources,
+  compute-unit replication under the shell's AXI-port limit);
+* :mod:`repro.fpga.dataflow_sim` — the functional dataflow simulator and the
+  cycle-approximate timing model;
+* :mod:`repro.fpga.xclbin` / :mod:`repro.fpga.host` — the "bitstream"
+  container and an OpenCL-like host runtime.
+"""
+
+from repro.fpga.device import ALVEO_U280, VCK5000, FPGADevice, DeviceResources
+from repro.fpga.resource_model import ResourceUsage
+from repro.fpga.synthesis import KernelDesign, StageTiming, VitisHLSBackend, SynthesisError
+from repro.fpga.dataflow_sim import FunctionalDataflowSimulator, TimingModel, TimingReport
+from repro.fpga.host import ExecutionResult, FPGAHost
+from repro.fpga.xclbin import Xclbin
+
+__all__ = [
+    "ALVEO_U280",
+    "VCK5000",
+    "DeviceResources",
+    "ExecutionResult",
+    "FPGADevice",
+    "FPGAHost",
+    "FunctionalDataflowSimulator",
+    "KernelDesign",
+    "ResourceUsage",
+    "StageTiming",
+    "SynthesisError",
+    "TimingModel",
+    "TimingReport",
+    "VitisHLSBackend",
+    "Xclbin",
+]

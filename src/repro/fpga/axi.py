@@ -1,0 +1,76 @@
+"""AXI interface port allocation under the shell's port budget."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.plan import InterfaceSpec
+from repro.fpga.device import FPGADevice
+
+
+class PortAllocationError(Exception):
+    """Raised when a kernel (or its CU replication) exceeds the port budget."""
+
+
+@dataclass
+class PortAllocation:
+    """The m_axi ports used by one configuration of the kernel."""
+
+    ports_per_cu: int
+    compute_units: int
+    bundles: list[str] = field(default_factory=list)
+
+    @property
+    def total_ports(self) -> int:
+        return self.ports_per_cu * self.compute_units
+
+
+def ports_for_interfaces(interfaces: list[InterfaceSpec]) -> int:
+    """Number of distinct m_axi bundles (= physical ports) one CU needs."""
+    return len({i.bundle for i in interfaces if i.protocol == "m_axi"})
+
+
+def allocate_ports(
+    interfaces: list[InterfaceSpec],
+    device: FPGADevice,
+    compute_units: int,
+) -> PortAllocation:
+    """Check a CU-replication choice against the device's AXI-port budget."""
+    ports_per_cu = ports_for_interfaces(interfaces)
+    total = ports_per_cu * compute_units
+    if device.max_axi_ports and total > device.max_axi_ports:
+        raise PortAllocationError(
+            f"{compute_units} CU(s) x {ports_per_cu} ports = {total} exceeds the "
+            f"{device.max_axi_ports}-port limit of the {device.name} shell"
+        )
+    bundles = sorted({i.bundle for i in interfaces if i.protocol == "m_axi"})
+    return PortAllocation(ports_per_cu=ports_per_cu, compute_units=compute_units, bundles=bundles)
+
+
+def max_compute_units(
+    interfaces: list[InterfaceSpec],
+    device: FPGADevice,
+    requested_max: int = 0,
+) -> int:
+    """Largest CU replication the port budget allows (optionally capped)."""
+    ports_per_cu = ports_for_interfaces(interfaces)
+    limit = device.max_compute_units(ports_per_cu)
+    if requested_max > 0:
+        limit = min(limit, requested_max)
+    return max(limit, 1)
+
+
+def contention_factor(interfaces: list[InterfaceSpec], separate_bundles: bool) -> float:
+    """Slow-down from sharing a single physical port between all accesses.
+
+    The paper motivates per-argument bundles by noting that a single port
+    would make "every memory access per cycle ... competing for the same
+    port" (§3.3 step 9).  When bundles are shared, the effective memory
+    throughput divides by the number of concurrent accessors.
+    """
+    m_axi = [i for i in interfaces if i.protocol == "m_axi"]
+    if not m_axi:
+        return 1.0
+    if separate_bundles:
+        return 1.0
+    return float(len(m_axi))

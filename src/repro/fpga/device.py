@@ -1,0 +1,133 @@
+"""FPGA device models.
+
+The numbers for the Alveo U280 follow the public data sheet (XCU280 FPGA,
+8 GB HBM2, 32 HBM pseudo-channels) and the paper's statement that the U280
+shell supports at most 32 AXI4 master ports, which is what limits PW
+advection to four compute units (§4).  The VCK5000 profile exists because
+the paper's future-work section proposes re-running the study on a device
+without that port limitation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class DeviceResources:
+    """Programmable-logic resources available to user kernels."""
+
+    luts: int
+    flip_flops: int
+    bram_36k: int
+    uram: int
+    dsps: int
+
+    def fraction(self, usage: "ResourceAmounts") -> dict[str, float]:
+        return {
+            "LUT": usage.luts / self.luts,
+            "FF": usage.flip_flops / self.flip_flops,
+            "BRAM": usage.bram_36k / self.bram_36k,
+            "URAM": usage.uram / max(self.uram, 1),
+            "DSP": usage.dsps / self.dsps,
+        }
+
+
+@dataclass(frozen=True)
+class ResourceAmounts:
+    luts: int = 0
+    flip_flops: int = 0
+    bram_36k: int = 0
+    uram: int = 0
+    dsps: int = 0
+
+
+@dataclass(frozen=True)
+class HBMConfig:
+    """High Bandwidth Memory configuration."""
+
+    banks: int
+    capacity_bytes: int
+    bandwidth_per_bank_gbs: float
+
+    @property
+    def total_bandwidth_gbs(self) -> float:
+        return self.banks * self.bandwidth_per_bank_gbs
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """A complete device + shell profile."""
+
+    name: str
+    resources: DeviceResources
+    hbm: HBMConfig
+    #: Maximum number of AXI4 master ports supported by the shell
+    #: (0 means unlimited, e.g. the VCK5000 profile).
+    max_axi_ports: int
+    default_clock_mhz: float
+    #: Fraction of resources consumed by the static shell region.
+    shell_lut_fraction: float = 0.10
+    #: Idle/static power of the card in watts.
+    static_power_w: float = 22.0
+
+    @property
+    def usable(self) -> DeviceResources:
+        """Resources left for user kernels once the shell is accounted for."""
+        scale = 1.0 - self.shell_lut_fraction
+        return DeviceResources(
+            luts=int(self.resources.luts * scale),
+            flip_flops=int(self.resources.flip_flops * scale),
+            bram_36k=int(self.resources.bram_36k * scale),
+            uram=self.resources.uram,
+            dsps=self.resources.dsps,
+        )
+
+    def max_compute_units(self, ports_per_cu: int) -> int:
+        """How many CUs fit within the shell's AXI-port budget."""
+        if ports_per_cu <= 0:
+            return 1
+        if self.max_axi_ports <= 0:
+            return 64  # effectively unlimited; area will be the binding constraint
+        return max(self.max_axi_ports // ports_per_cu, 1)
+
+
+#: AMD Xilinx Alveo U280 (the paper's evaluation platform).
+ALVEO_U280 = FPGADevice(
+    name="Alveo U280",
+    resources=DeviceResources(
+        luts=1_303_680,
+        flip_flops=2_607_360,
+        bram_36k=2_016,
+        uram=960,
+        dsps=9_024,
+    ),
+    hbm=HBMConfig(banks=32, capacity_bytes=8 * 1024**3, bandwidth_per_bank_gbs=14.375),
+    max_axi_ports=32,
+    default_clock_mhz=300.0,
+    static_power_w=30.0,
+)
+
+#: AMD Xilinx VCK5000 profile (paper future work: no AXI-port limitation).
+VCK5000 = FPGADevice(
+    name="VCK5000",
+    resources=DeviceResources(
+        luts=899_840,
+        flip_flops=1_799_680,
+        bram_36k=967,
+        uram=463,
+        dsps=1_968,
+    ),
+    hbm=HBMConfig(banks=4, capacity_bytes=16 * 1024**3, bandwidth_per_bank_gbs=25.6),
+    max_axi_ports=0,
+    default_clock_mhz=300.0,
+    static_power_w=25.0,
+)
+
+
+def device_by_name(name: str) -> FPGADevice:
+    table = {d.name.lower(): d for d in (ALVEO_U280, VCK5000)}
+    key = name.lower()
+    if key not in table:
+        raise KeyError(f"unknown device '{name}' (known: {', '.join(table)})")
+    return table[key]

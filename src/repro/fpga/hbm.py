@@ -1,0 +1,87 @@
+"""HBM bank allocation and external-memory bandwidth model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.fpga.device import FPGADevice
+
+
+class HBMAllocationError(Exception):
+    """Raised when a kernel's buffers do not fit in HBM."""
+
+
+@dataclass
+class HBMBankAssignment:
+    """Mapping of kernel buffers to HBM banks (the connectivity file)."""
+
+    assignments: dict[str, int] = field(default_factory=dict)
+
+    def bank_of(self, buffer_name: str) -> int:
+        return self.assignments[buffer_name]
+
+    @property
+    def banks_used(self) -> int:
+        return len(set(self.assignments.values()))
+
+
+class HBMAllocator:
+    """Assigns kernel buffers to HBM banks.
+
+    With ``multi_bank=True`` (Stencil-HMLS, SODA-opt, Vitis HLS — the paper
+    wires connectivity by hand) a buffer may span several banks, so only the
+    total HBM capacity limits the problem size.  With ``multi_bank=False``
+    (DaCe / StencilFlow, which do not support automatic multi-bank
+    assignment) every buffer must fit within a single 256 MB bank — this is
+    why DaCe cannot handle the 134M-point PW advection case (§4).
+    """
+
+    def __init__(self, device: FPGADevice, multi_bank: bool = True) -> None:
+        self.device = device
+        self.multi_bank = multi_bank
+
+    def allocate(self, buffer_bytes: dict[str, int], compute_units: int = 1) -> HBMBankAssignment:
+        total_bytes = sum(buffer_bytes.values()) * compute_units
+        capacity = self.device.hbm.capacity_bytes
+        bank_capacity = capacity / self.device.hbm.banks
+        if total_bytes > capacity:
+            raise HBMAllocationError(
+                f"buffers need {total_bytes / 1e9:.2f} GB but {self.device.name} "
+                f"has only {capacity / 1e9:.2f} GB of HBM"
+            )
+        assignment = HBMBankAssignment()
+        if not self.multi_bank:
+            for name, nbytes in buffer_bytes.items():
+                if nbytes > bank_capacity:
+                    raise HBMAllocationError(
+                        f"buffer '{name}' needs {nbytes / 1e6:.0f} MB but a single HBM "
+                        f"bank holds {bank_capacity / 1e6:.0f} MB and this flow does not "
+                        "support automatic multi-bank assignment"
+                    )
+            for bank, name in enumerate(buffer_bytes):
+                assignment.assignments[name] = bank % self.device.hbm.banks
+            return assignment
+        bank = 0
+        for cu in range(compute_units):
+            for name in buffer_bytes:
+                key = name if compute_units == 1 else f"{name}_cu{cu}"
+                assignment.assignments[key] = bank % self.device.hbm.banks
+                bank += 1
+        return assignment
+
+    def effective_bandwidth_gbs(self, banks_used: int) -> float:
+        """Aggregate bandwidth of the banks actually used."""
+        banks_used = max(1, min(banks_used, self.device.hbm.banks))
+        return banks_used * self.device.hbm.bandwidth_per_bank_gbs
+
+
+def streaming_time_seconds(
+    bytes_moved: int,
+    banks_used: int,
+    device: FPGADevice,
+    efficiency: float = 0.8,
+) -> float:
+    """Lower-bound time to move ``bytes_moved`` through the used HBM banks."""
+    allocator = HBMAllocator(device)
+    bandwidth = allocator.effective_bandwidth_gbs(banks_used) * efficiency
+    return bytes_moved / (bandwidth * 1e9)

@@ -1,0 +1,155 @@
+"""OpenCL/XRT-like host runtime for the simulated device.
+
+The paper's host codes are OpenCL: they create buffers, migrate them to the
+device, launch the kernel's compute units and read the profiling timestamps.
+:class:`FPGAHost` mirrors that surface: ``program`` an :class:`Xclbin`,
+create buffers, ``run`` the kernel, and get back an :class:`ExecutionResult`
+containing the outputs (when functional simulation is requested) plus the
+timing, power and energy figures the evaluation section reports.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.fpga.dataflow_sim import FunctionalDataflowSimulator, TimingModel, TimingReport
+from repro.fpga.device import ALVEO_U280, FPGADevice
+from repro.fpga.power_model import PowerModel, PowerReport
+from repro.fpga.xclbin import Xclbin
+
+
+class HostError(Exception):
+    """Raised for host-side programming errors (missing buffers, bad xclbin)."""
+
+
+@dataclass
+class DeviceBuffer:
+    """A host-visible handle to a device buffer (numpy-backed)."""
+
+    name: str
+    array: np.ndarray
+    bank: int = 0
+
+    @property
+    def nbytes(self) -> int:
+        return self.array.nbytes
+
+
+@dataclass
+class ExecutionResult:
+    """Everything one kernel launch produces."""
+
+    kernel_name: str
+    framework: str
+    outputs: dict[str, np.ndarray]
+    timing: TimingReport
+    power: PowerReport
+    wall_clock_s: float = 0.0
+    functional: bool = False
+
+    @property
+    def mpts(self) -> float:
+        return self.timing.mpts
+
+    @property
+    def runtime_s(self) -> float:
+        return self.timing.runtime_s
+
+    @property
+    def average_power_w(self) -> float:
+        return self.power.average_power_w
+
+    @property
+    def energy_j(self) -> float:
+        return self.power.energy_j
+
+    def as_dict(self) -> dict[str, Any]:
+        payload = {
+            "kernel": self.kernel_name,
+            "framework": self.framework,
+            "functional": self.functional,
+        }
+        payload.update(self.timing.as_dict())
+        payload.update(self.power.as_dict())
+        return payload
+
+
+class FPGAHost:
+    """Programs xclbins onto the device model and launches kernels."""
+
+    def __init__(self, device: FPGADevice = ALVEO_U280) -> None:
+        self.device = device
+        self._programmed: Xclbin | None = None
+        self.timing_model = TimingModel()
+        self.power_model = PowerModel(device)
+
+    # -- device management --------------------------------------------------------
+
+    def program(self, xclbin: Xclbin) -> None:
+        if xclbin.design.device.name != self.device.name:
+            raise HostError(
+                f"xclbin was synthesised for {xclbin.design.device.name}, "
+                f"but this host drives a {self.device.name}"
+            )
+        self._programmed = xclbin
+
+    @property
+    def programmed_kernel(self) -> str:
+        if self._programmed is None:
+            raise HostError("no xclbin programmed")
+        return self._programmed.kernel_name
+
+    def create_buffer(self, name: str, array: np.ndarray, bank: int = 0) -> DeviceBuffer:
+        return DeviceBuffer(name=name, array=np.asarray(array, dtype=np.float64), bank=bank)
+
+    # -- kernel launch ----------------------------------------------------------------
+
+    def run(
+        self,
+        arrays: dict[str, np.ndarray] | None = None,
+        scalars: dict[str, float] | None = None,
+        *,
+        functional: bool = False,
+        problem_points: int | None = None,
+    ) -> ExecutionResult:
+        """Launch the programmed kernel.
+
+        With ``functional=True`` the dataflow simulator actually computes the
+        outputs (use small grids); otherwise only the timing/power/energy
+        estimates are produced, which is how the large paper-scale problem
+        sizes are evaluated.
+        """
+        if self._programmed is None:
+            raise HostError("no xclbin programmed")
+        xclbin = self._programmed
+        start = time.perf_counter()
+        outputs: dict[str, np.ndarray] = {}
+        if functional:
+            if arrays is None:
+                raise HostError("functional execution requires input arrays")
+            if xclbin.hls_module is None:
+                raise HostError("xclbin does not carry the HLS module needed for simulation")
+            simulator = FunctionalDataflowSimulator(xclbin.hls_module, xclbin.plan)
+            outputs = simulator.run(arrays, scalars)
+        timing = self.timing_model.estimate(xclbin.design, problem_points)
+        power = self.power_model.estimate(
+            xclbin.design.resources,
+            activity=timing.activity,
+            sustained_bandwidth_gbs=timing.sustained_bandwidth_gbs,
+            runtime_s=timing.runtime_s,
+            clock_mhz=xclbin.design.clock_mhz,
+        )
+        wall = time.perf_counter() - start
+        return ExecutionResult(
+            kernel_name=xclbin.kernel_name,
+            framework=xclbin.design.framework,
+            outputs=outputs,
+            timing=timing,
+            power=power,
+            wall_clock_s=wall,
+            functional=functional,
+        )

@@ -1,0 +1,157 @@
+"""Resource estimation for synthesised kernels.
+
+A simple additive model in the spirit of HLS report estimates: every
+floating point operator, stream FIFO, shift-buffer plane, local array copy
+and AXI interface contributes LUTs/FFs/BRAM/DSPs.  The constants are
+calibrated so the *shape* of Tables 1 and 2 of the paper is reproduced
+(Stencil-HMLS is BRAM-heavy because of the shift buffers and local copies
+and grows slightly with the problem size; the naive flows are small and flat
+across problem sizes).  Absolute percentages are not expected to match the
+paper exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.plan import DataflowPlan
+from repro.fpga.device import FPGADevice, ResourceAmounts
+
+
+@dataclass
+class ResourceUsage:
+    """Estimated device resources used by one kernel configuration."""
+
+    luts: int = 0
+    flip_flops: int = 0
+    bram_36k: int = 0
+    uram: int = 0
+    dsps: int = 0
+
+    def scaled(self, factor: int) -> "ResourceUsage":
+        return ResourceUsage(
+            luts=self.luts * factor,
+            flip_flops=self.flip_flops * factor,
+            bram_36k=self.bram_36k * factor,
+            uram=self.uram * factor,
+            dsps=self.dsps * factor,
+        )
+
+    def __add__(self, other: "ResourceUsage") -> "ResourceUsage":
+        return ResourceUsage(
+            luts=self.luts + other.luts,
+            flip_flops=self.flip_flops + other.flip_flops,
+            bram_36k=self.bram_36k + other.bram_36k,
+            uram=self.uram + other.uram,
+            dsps=self.dsps + other.dsps,
+        )
+
+    def utilisation(self, device: FPGADevice) -> dict[str, float]:
+        """Percentage utilisation of the device, as reported in Tables 1-2."""
+        res = device.resources
+        return {
+            "LUTs": 100.0 * self.luts / res.luts,
+            "FFs": 100.0 * self.flip_flops / res.flip_flops,
+            "BRAM": 100.0 * self.bram_36k / res.bram_36k,
+            "DSPs": 100.0 * self.dsps / res.dsps,
+        }
+
+    def fits(self, device: FPGADevice) -> bool:
+        usable = device.usable
+        return (
+            self.luts <= usable.luts
+            and self.flip_flops <= usable.flip_flops
+            and self.bram_36k <= usable.bram_36k
+            and self.uram <= usable.uram
+            and self.dsps <= usable.dsps
+        )
+
+
+# --- per-construct cost constants (double precision, -O0 style estimates) ----
+
+COST_PER_FLOP_LUT = 320
+COST_PER_FLOP_FF = 420
+COST_PER_MUL_DSP = 8          # a double-precision multiplier
+COST_PER_DIV_LUT = 3200       # dividers are LUT-heavy
+COST_PER_STREAM_LUT = 180
+COST_PER_STREAM_FF = 260
+COST_PER_STAGE_LUT = 950      # dataflow stage control logic
+COST_PER_STAGE_FF = 1300
+COST_PER_AXI_PORT_LUT = 1200
+COST_PER_AXI_PORT_FF = 1800
+COST_PER_AXI_PORT_BRAM = 2    # read/write reorder buffers
+KERNEL_BASE_LUT = 2500
+KERNEL_BASE_FF = 3200
+BRAM_BITS = 36 * 1024
+
+
+def _bram_blocks(bits: int) -> int:
+    return max(1, (bits + BRAM_BITS - 1) // BRAM_BITS) if bits > 0 else 0
+
+
+def estimate_stencil_hmls(plan: DataflowPlan, compute_units: int = 1) -> ResourceUsage:
+    """Resource usage of a Stencil-HMLS dataflow kernel (one or more CUs)."""
+    usage = ResourceUsage(luts=KERNEL_BASE_LUT, flip_flops=KERNEL_BASE_FF)
+    analysis = plan.analysis
+
+    # Compute pipelines: one per compute stage (step 4 split).
+    for wave in plan.waves:
+        for compute in wave.computes:
+            flops = max(compute.flops_per_point, 1)
+            muls = max(flops // 2, 1)
+            usage.luts += COST_PER_STAGE_LUT + flops * COST_PER_FLOP_LUT
+            usage.flip_flops += COST_PER_STAGE_FF + flops * COST_PER_FLOP_FF
+            usage.dsps += muls * COST_PER_MUL_DSP
+        # Load / shift / duplicate / write stages.
+        num_mover_stages = 2 + len(wave.shifts) + len(wave.duplicates)
+        usage.luts += num_mover_stages * COST_PER_STAGE_LUT
+        usage.flip_flops += num_mover_stages * COST_PER_STAGE_FF
+        # Shift buffer storage (2*radius planes per field).
+        for shift in wave.shifts:
+            usage.bram_36k += _bram_blocks(shift.buffer_elements * 64)
+
+    # Streams.
+    for stream in plan.streams:
+        usage.luts += COST_PER_STREAM_LUT
+        usage.flip_flops += COST_PER_STREAM_FF
+        usage.bram_36k += _bram_blocks(stream.element_bits * stream.depth)
+
+    # Small-data copies in BRAM (this is the part that grows with problem size).
+    for copy in plan.small_copies:
+        usage.bram_36k += _bram_blocks(copy.elements * copy.element_bits)
+
+    # AXI interfaces.
+    ports = plan.ports_per_cu
+    usage.luts += ports * COST_PER_AXI_PORT_LUT
+    usage.flip_flops += ports * COST_PER_AXI_PORT_FF
+    usage.bram_36k += ports * COST_PER_AXI_PORT_BRAM
+
+    return usage.scaled(compute_units)
+
+
+def estimate_loop_kernel(
+    num_stages: int,
+    flops_per_point: int,
+    num_ports: int,
+    local_buffer_bits: int = 0,
+    pipeline_depth_scale: float = 1.0,
+) -> ResourceUsage:
+    """Resource usage of a Von-Neumann style loop-nest kernel.
+
+    Used by the Vitis HLS and SODA-opt baseline models: a single (or a few)
+    sequential loop nests, no shift buffers, little on-chip storage, so the
+    footprint is small and independent of the problem size.
+    """
+    usage = ResourceUsage(luts=KERNEL_BASE_LUT, flip_flops=KERNEL_BASE_FF)
+    flops = max(flops_per_point, 1)
+    usage.luts += int(num_stages * COST_PER_STAGE_LUT * pipeline_depth_scale)
+    usage.flip_flops += int(num_stages * COST_PER_STAGE_FF * pipeline_depth_scale)
+    # Sequential loops time-multiplex one operator set rather than one per stage.
+    usage.luts += int(flops * COST_PER_FLOP_LUT * 0.35)
+    usage.flip_flops += int(flops * COST_PER_FLOP_FF * 0.25)
+    usage.dsps += max(flops // 6, 1) * COST_PER_MUL_DSP // 4
+    usage.luts += num_ports * COST_PER_AXI_PORT_LUT
+    usage.flip_flops += num_ports * COST_PER_AXI_PORT_FF
+    usage.bram_36k += num_ports * COST_PER_AXI_PORT_BRAM
+    usage.bram_36k += _bram_blocks(local_buffer_bits)
+    return usage

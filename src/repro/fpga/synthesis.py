@@ -1,0 +1,216 @@
+"""Vitis-HLS-like synthesis model.
+
+The real flow hands the f++-processed LLVM-IR to the AMD Xilinx HLS backend,
+which produces HDL and ultimately an ``.xclbin``.  That backend is not
+available, so this module models what it produces: a :class:`KernelDesign`
+describing the synthesised kernel — its dataflow stages and their initiation
+intervals, clock frequency, AXI port allocation, compute-unit replication
+under the shell's 32-port budget, and estimated resource usage.
+
+The design is derived from the :class:`~repro.core.plan.DataflowPlan`
+produced by the stencil→HLS transformation together with the f++ report
+(which proves the generated LLVM-IR carried the right directives and legal
+streams).  Baseline frameworks construct their own designs directly (see
+:mod:`repro.baselines`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import CompilerOptions
+from repro.core.plan import DataflowPlan, InterfaceSpec
+from repro.fpga import axi
+from repro.fpga.device import ALVEO_U280, FPGADevice
+from repro.fpga.hbm import HBMAllocator
+from repro.fpga.resource_model import ResourceUsage, estimate_stencil_hmls
+from repro.fpp.preprocessor import FPPReport
+
+
+class SynthesisError(Exception):
+    """Raised when a kernel cannot be synthesised for the target device."""
+
+
+@dataclass
+class StageTiming:
+    """Timing of one pipeline/stage in the synthesised design."""
+
+    name: str
+    kind: str                   # 'compute' | 'memory' | 'shift' | 'control'
+    ii: int
+    depth: int                  # pipeline fill latency in cycles
+    trip_count: int
+
+    @property
+    def cycles(self) -> int:
+        return self.trip_count * self.ii + self.depth
+
+
+@dataclass
+class KernelDesign:
+    """The synthesised kernel as the backend would report it."""
+
+    kernel_name: str
+    framework: str
+    device: FPGADevice
+    clock_mhz: float
+    compute_units: int
+    ports_per_cu: int
+    #: Stages grouped by concurrency: stages in the same group overlap
+    #: (dataflow), groups execute back-to-back.
+    stage_groups: list[list[StageTiming]] = field(default_factory=list)
+    resources: ResourceUsage = field(default_factory=ResourceUsage)
+    interfaces: list[InterfaceSpec] = field(default_factory=list)
+    plan: DataflowPlan | None = None
+    bytes_moved: int = 0
+    notes: list[str] = field(default_factory=list)
+
+    @property
+    def achieved_ii(self) -> int:
+        """The II of the critical compute stage (what HLS reports)."""
+        compute_iis = [
+            stage.ii
+            for group in self.stage_groups
+            for stage in group
+            if stage.kind == "compute"
+        ]
+        return max(compute_iis) if compute_iis else 1
+
+    @property
+    def total_ports(self) -> int:
+        return self.ports_per_cu * self.compute_units
+
+    def add_group(self, stages: list[StageTiming]) -> None:
+        self.stage_groups.append(stages)
+
+    def utilisation(self) -> dict[str, float]:
+        return self.resources.utilisation(self.device)
+
+
+class VitisHLSBackend:
+    """Synthesis model for the Stencil-HMLS flow."""
+
+    def __init__(self, device: FPGADevice = ALVEO_U280, clock_mhz: float | None = None) -> None:
+        self.device = device
+        self.clock_mhz = clock_mhz or device.default_clock_mhz
+
+    def synthesise(
+        self,
+        plan: DataflowPlan,
+        fpp_report: FPPReport | None = None,
+        options: CompilerOptions | None = None,
+    ) -> KernelDesign:
+        options = options or plan.options
+
+        # The paper compiles the generated LLVM-IR with -O0: higher levels
+        # strip the local-memory copies and inflate the II.
+        achieved_ii = options.target_ii
+        if options.vitis_opt_level > 0:
+            achieved_ii = max(options.target_ii * 4, 4)
+
+        if fpp_report is not None and fpp_report.pipelined_loops == 0:
+            # Without pipeline directives the scheduler falls back to a
+            # conservative sequential schedule.
+            achieved_ii = max(achieved_ii, 12)
+
+        # --- compute-unit replication under the AXI port budget -----------------
+        ports_per_cu = axi.ports_for_interfaces(plan.interfaces)
+        compute_units = 1
+        if options.replicate_compute_units:
+            compute_units = axi.max_compute_units(
+                plan.interfaces, self.device, options.max_compute_units
+            )
+        # Shrink the replication until the design fits on the device.
+        while compute_units > 1:
+            if estimate_stencil_hmls(plan, compute_units).fits(self.device):
+                break
+            compute_units -= 1
+        resources = estimate_stencil_hmls(plan, compute_units)
+        if not resources.fits(self.device):
+            raise SynthesisError(
+                f"kernel '{plan.kernel_name}' does not fit on {self.device.name} "
+                f"even with a single compute unit"
+            )
+        axi.allocate_ports(plan.interfaces, self.device, compute_units)
+
+        # --- HBM allocation ---------------------------------------------------------
+        # Compute units partition the iteration space; they share the same
+        # field buffers, so capacity is checked once (bank assignment still
+        # spreads interfaces across banks per CU for bandwidth).
+        arg_bytes = {
+            a.name: a.num_elements * a.element_bits // 8
+            for a in plan.analysis.arguments
+            if a.is_field or a.kind == "small_data"
+        }
+        HBMAllocator(self.device, multi_bank=True).allocate(arg_bytes)
+
+        design = KernelDesign(
+            kernel_name=plan.kernel_name,
+            framework="Stencil-HMLS",
+            device=self.device,
+            clock_mhz=self.clock_mhz,
+            compute_units=compute_units,
+            ports_per_cu=ports_per_cu,
+            resources=resources,
+            interfaces=list(plan.interfaces),
+            plan=plan,
+        )
+
+        # --- stage timing ---------------------------------------------------------------
+        lanes = max(i.packed_lanes for i in plan.interfaces) if plan.interfaces else 1
+        contention = axi.contention_factor(plan.interfaces, options.separate_bundles)
+        points_per_cu = max(plan.domain_points // compute_units, 1)
+        total_bytes = 0
+        for wave in plan.waves:
+            group: list[StageTiming] = []
+            plane = 1
+            for extent in plan.grid_shape[1:]:
+                plane *= extent
+            for shift in wave.shifts:
+                fill = shift.radius * plane + 64
+                group.append(
+                    StageTiming(
+                        name=shift.callee, kind="shift", ii=achieved_ii,
+                        depth=fill, trip_count=points_per_cu,
+                    )
+                )
+            # Without the per-field split (ablation A1) a single loop
+            # time-multiplexes every output field's computation and write,
+            # which inflates the initiation interval accordingly.
+            compute_ii = achieved_ii
+            if not options.split_compute_per_field and len(wave.computes) > 1:
+                compute_ii = achieved_ii * len(wave.computes)
+            for compute in wave.computes:
+                depth = 60 + 3 * compute.flops_per_point
+                group.append(
+                    StageTiming(
+                        name=compute.label, kind="compute", ii=compute_ii,
+                        depth=depth, trip_count=points_per_cu,
+                    )
+                )
+            # Memory stage.  With one bundle per argument every field streams
+            # through its own port concurrently; with a single shared bundle
+            # (ablation A3) all fields of all compute units contend for one
+            # physical port, so the port has to move the whole wave's traffic.
+            fields_moved = len(wave.load.fields) + len(wave.write.fields)
+            wave_bytes = fields_moved * plan.analysis.total_grid_points * 8
+            total_bytes += wave_bytes
+            if options.separate_bundles:
+                mem_trip = points_per_cu // lanes + 1
+            else:
+                mem_trip = fields_moved * plan.domain_points // lanes + 1
+            group.append(
+                StageTiming(
+                    name=f"memory_w{wave.index}", kind="memory", ii=1,
+                    depth=200, trip_count=mem_trip,
+                )
+            )
+            design.add_group(group)
+
+        design.bytes_moved = total_bytes
+        if fpp_report is not None:
+            design.notes.append(
+                f"f++: {fpp_report.total_directives} directives, "
+                f"{fpp_report.streams_checked} streams validated"
+            )
+        return design

@@ -1,0 +1,80 @@
+"""The ``.xclbin``-like artefact produced by the flow.
+
+On real hardware the output of Vitis is an ``.xclbin`` containing the FPGA
+configuration plus metadata (kernels, memory connectivity, clocking).  Here
+the artefact bundles everything the host runtime and the evaluation need:
+the synthesised design, the dataflow plan, the IR at each level of the flow
+and the f++ report.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.core.plan import DataflowPlan
+from repro.dialects.builtin import ModuleOp
+from repro.fpga.synthesis import KernelDesign
+from repro.fpp.preprocessor import FPPReport
+
+
+@dataclass
+class Xclbin:
+    """A compiled FPGA kernel ready to be "programmed" onto the device model."""
+
+    kernel_name: str
+    design: KernelDesign
+    plan: DataflowPlan
+    stencil_module: ModuleOp | None = None
+    hls_module: ModuleOp | None = None
+    llvm_module: ModuleOp | None = None
+    fpp_report: FPPReport | None = None
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def compute_units(self) -> int:
+        return self.design.compute_units
+
+    def connectivity(self) -> dict[str, str]:
+        """The ``--connectivity.sp`` style mapping of m_axi bundles to HBM banks.
+
+        Bundles shared by several arguments (the small-data port) appear once
+        per compute unit, so the number of entries equals CUs × ports-per-CU.
+        """
+        mapping: dict[str, str] = {}
+        bank = 0
+        bundles: list[str] = []
+        for interface in self.design.interfaces:
+            if interface.protocol == "m_axi" and interface.bundle not in bundles:
+                bundles.append(interface.bundle)
+        for cu in range(self.design.compute_units):
+            for bundle in bundles:
+                key = f"{self.kernel_name}_{cu + 1}.{bundle}"
+                mapping[key] = f"HBM[{bank % self.design.device.hbm.banks}]"
+                bank += 1
+        return mapping
+
+    def summary(self) -> dict:
+        return {
+            "kernel": self.kernel_name,
+            "framework": self.design.framework,
+            "device": self.design.device.name,
+            "clock_mhz": self.design.clock_mhz,
+            "compute_units": self.design.compute_units,
+            "ports_per_cu": self.design.ports_per_cu,
+            "achieved_ii": self.design.achieved_ii,
+            "utilisation_pct": self.design.utilisation(),
+            "waves": self.plan.num_waves,
+            "compute_stages": self.plan.num_compute_stages,
+            "streams": len(self.plan.streams),
+        }
+
+    def save_metadata(self, path: str | Path) -> Path:
+        """Write the xclbin metadata (not the IR) as JSON next to the results."""
+        path = Path(path)
+        payload = dict(self.summary())
+        payload["connectivity"] = self.connectivity()
+        payload.update(self.metadata)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        return path

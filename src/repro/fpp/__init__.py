@@ -1,0 +1,13 @@
+"""f++ — the LLVM-IR preprocessing tool of the flow.
+
+The paper's f++ (developed for Fortran-HLS and reused here) takes the
+LLVM-IR produced by the HLS-dialect lowering, pattern-matches the calls to
+the directive-encoding annotation functions and replaces them with the
+intrinsics or metadata the AMD Xilinx HLS backend understands, taking the
+loop-nest structure into account for pipelining and unrolling.  It also
+links the generated IR against the dataflow runtime.
+"""
+
+from repro.fpp.preprocessor import FPPReport, FPPError, run_fpp
+
+__all__ = ["FPPError", "FPPReport", "run_fpp"]

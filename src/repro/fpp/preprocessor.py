@@ -1,0 +1,180 @@
+"""The f++ preprocessing step (§3.2).
+
+Responsibilities replicated from the paper:
+
+* identify the annotation calls produced by the HLS→LLVM lowering via
+  pattern matching on the callee name, and replace them with the
+  corresponding metadata: pipeline and unroll annotations are attached to
+  the innermost enclosing loop (f++ "makes use of LLVM passes that determine
+  where in the loop tree the call was found"); dataflow and interface
+  annotations are attached to the enclosing function;
+* verify that every stream satisfies the two legality conditions the AMD
+  Xilinx backend imposes (pointer-to-struct type, and a
+  ``llvm.fpga.set.stream.depth`` call on the first struct element obtained
+  through a ``getelementptr`` with offset ``[0, 0]``);
+* link the module against the dataflow runtime by recording which runtime
+  functions the generated code requires.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.core import Operation, VerifyException
+from repro.ir.attributes import IntAttr, StringAttr, UnitAttr
+from repro.ir.types import LLVMPointerType, LLVMStructType
+from repro.dialects import llvm as llvm_d, scf
+from repro.dialects.builtin import ModuleOp
+from repro.dialects.func import CallOp, FuncOp
+from repro.transforms.hls_to_llvm import (
+    ANNOTATION_PREFIX,
+    ARRAY_PARTITION_PREFIX,
+    DATAFLOW_ANNOTATION,
+    FIFO_EMPTY,
+    FIFO_FULL,
+    FIFO_READ,
+    FIFO_WRITE,
+    INTERFACE_ANNOTATION,
+    PIPELINE_PREFIX,
+    UNROLL_PREFIX,
+)
+
+#: Runtime functions f++ links against (the C++ runtime of the paper).
+RUNTIME_FUNCTION_PREFIXES = ("load_data", "shift_buffer", "write_data", "duplicate_")
+
+
+class FPPError(Exception):
+    """Raised when the IR violates a constraint of the AMD Xilinx backend."""
+
+
+@dataclass
+class FPPReport:
+    """What f++ did to the module, for inspection and testing."""
+
+    pipelined_loops: int = 0
+    unrolled_loops: int = 0
+    dataflow_functions: int = 0
+    interface_annotations: int = 0
+    array_partitions: int = 0
+    streams_checked: int = 0
+    runtime_functions: list[str] = field(default_factory=list)
+    kernel_functions: list[str] = field(default_factory=list)
+
+    @property
+    def total_directives(self) -> int:
+        return (
+            self.pipelined_loops
+            + self.unrolled_loops
+            + self.dataflow_functions
+            + self.interface_annotations
+            + self.array_partitions
+        )
+
+
+def _enclosing_loop(op: Operation) -> Operation | None:
+    parent = op.parent_op()
+    while parent is not None:
+        if isinstance(parent, (scf.ForOp, scf.ParallelOp, scf.WhileOp)):
+            return parent
+        parent = parent.parent_op()
+    return None
+
+
+def _enclosing_func(op: Operation) -> FuncOp | None:
+    parent = op.parent_op()
+    while parent is not None:
+        if isinstance(parent, FuncOp):
+            return parent
+        parent = parent.parent_op()
+    return None
+
+
+def run_fpp(module: ModuleOp, *, strict: bool = True) -> FPPReport:
+    """Rewrite annotation calls into metadata and validate stream legality."""
+    report = FPPReport()
+
+    # --- directive rewriting -------------------------------------------------
+    for op in list(module.walk()):
+        if not isinstance(op, CallOp) or op.parent is None:
+            continue
+        callee = op.callee
+        if callee.startswith(PIPELINE_PREFIX):
+            loop = _enclosing_loop(op)
+            target = loop if loop is not None else _enclosing_func(op)
+            if target is None:
+                raise FPPError("pipeline annotation found outside any loop or function")
+            target.attributes["llvm.loop.pipeline.ii"] = IntAttr(int(callee[len(PIPELINE_PREFIX):]))
+            op.erase()
+            report.pipelined_loops += 1
+        elif callee.startswith(UNROLL_PREFIX):
+            loop = _enclosing_loop(op)
+            if loop is None:
+                raise FPPError("unroll annotation found outside any loop")
+            loop.attributes["llvm.loop.unroll.count"] = IntAttr(int(callee[len(UNROLL_PREFIX):]))
+            op.erase()
+            report.unrolled_loops += 1
+        elif callee == DATAFLOW_ANNOTATION:
+            func = _enclosing_func(op)
+            if func is None:
+                raise FPPError("dataflow annotation found outside any function")
+            func.attributes["fpga.dataflow.func"] = UnitAttr()
+            op.erase()
+            report.dataflow_functions += 1
+        elif callee == INTERFACE_ANNOTATION:
+            func = _enclosing_func(op)
+            if func is None:
+                raise FPPError("interface annotation found outside any function")
+            arg = op.operands[0]
+            arg_name = arg.name_hint or f"arg{getattr(arg, 'index', 0)}"
+            bundle = op.attributes.get("bundle", StringAttr("gmem0")).data
+            protocol = op.attributes.get("protocol", StringAttr("m_axi")).data
+            func.attributes[f"fpga.interface.{arg_name}"] = StringAttr(f"{protocol}:{bundle}")
+            op.erase()
+            report.interface_annotations += 1
+        elif callee.startswith(ARRAY_PARTITION_PREFIX):
+            func = _enclosing_func(op)
+            if func is not None:
+                func.attributes.setdefault("xlx.array.partition", IntAttr(0))
+                func.attributes["xlx.array.partition"] = IntAttr(
+                    func.attributes["xlx.array.partition"].value + 1
+                )
+            op.erase()
+            report.array_partitions += 1
+
+    # --- stream legality checks -----------------------------------------------
+    streams_with_depth: set[int] = set()
+    for op in module.walk():
+        if isinstance(op, llvm_d.CallOp) and op.callee == llvm_d.SET_STREAM_DEPTH_INTRINSIC:
+            pointer = op.operands[0]
+            owner = getattr(pointer, "op", None)
+            if not isinstance(owner, llvm_d.GEPOp) or owner.indices[:2] != (0, 0):
+                if strict:
+                    raise FPPError(
+                        "llvm.fpga.set.stream.depth must be applied to the first "
+                        "struct element obtained through getelementptr [0, 0]"
+                    )
+                continue
+            base = owner.pointer
+            base_owner = getattr(base, "op", None)
+            if isinstance(base_owner, llvm_d.AllocaOp):
+                streams_with_depth.add(id(base_owner))
+
+    for op in module.walk():
+        if isinstance(op, llvm_d.AllocaOp) and isinstance(op.pointee_type, LLVMStructType):
+            report.streams_checked += 1
+            if not llvm_d.is_legal_stream_type(op.result.type):
+                raise FPPError(f"illegal stream type {op.result.type}")
+            if strict and id(op) not in streams_with_depth:
+                raise FPPError(
+                    "stream allocation without a matching llvm.fpga.set.stream.depth call"
+                )
+
+    # --- runtime linking -------------------------------------------------------
+    for op in module.body.ops:
+        if isinstance(op, FuncOp) and op.is_declaration:
+            if op.sym_name.startswith(RUNTIME_FUNCTION_PREFIXES):
+                report.runtime_functions.append(op.sym_name)
+        elif isinstance(op, FuncOp) and "hls.kernel" in op.attributes:
+            report.kernel_functions.append(op.sym_name)
+
+    return report

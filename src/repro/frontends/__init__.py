@@ -1,0 +1,58 @@
+"""Frontends producing stencil-dialect IR.
+
+The paper drives Stencil-HMLS from the PSyclone Fortran DSL (and notes that
+Devito and Flang lower into the same stencil dialect).  Three entry points
+are provided here:
+
+* :mod:`repro.frontends.builder` — a programmatic kernel builder (the common
+  substrate the other two frontends use);
+* :mod:`repro.frontends.psyclone` — a PSyclone-like frontend that parses
+  Fortran-style stencil assignments;
+* :mod:`repro.frontends.devito` — a Devito-like symbolic interface (grids,
+  functions, equations).
+"""
+
+from repro.frontends.expr import (
+    BinOp,
+    Constant,
+    Expr,
+    FieldAccess,
+    GridIndex,
+    ScalarRef,
+    SmallDataAccess,
+    UnaryOp,
+    fabs,
+    fmax,
+    fmin,
+    sqrt,
+)
+from repro.frontends.builder import StencilKernelBuilder, FieldHandle, ScalarHandle, SmallDataHandle
+from repro.frontends.devito import DevitoGrid, DevitoFunction, DevitoConstant, Eq, DevitoOperator
+from repro.frontends.psyclone import PSycloneFrontend, PSycloneKernel, PSycloneParseError
+
+__all__ = [
+    "BinOp",
+    "Constant",
+    "DevitoConstant",
+    "DevitoFunction",
+    "DevitoGrid",
+    "DevitoOperator",
+    "Eq",
+    "Expr",
+    "FieldAccess",
+    "FieldHandle",
+    "GridIndex",
+    "PSycloneFrontend",
+    "PSycloneKernel",
+    "PSycloneParseError",
+    "ScalarHandle",
+    "ScalarRef",
+    "SmallDataAccess",
+    "SmallDataHandle",
+    "StencilKernelBuilder",
+    "UnaryOp",
+    "fabs",
+    "fmax",
+    "fmin",
+    "sqrt",
+]

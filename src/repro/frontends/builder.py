@@ -1,0 +1,328 @@
+"""Programmatic construction of stencil-dialect kernels.
+
+:class:`StencilKernelBuilder` is the substrate all frontends share: declare
+fields, small constant arrays and scalars; add stencil definitions (an
+output field plus an expression over relative field accesses); and build a
+``builtin.module`` containing the stencil-dialect kernel function, ready for
+the CPU lowering, the Stencil-HMLS FPGA flow or the baseline models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Sequence
+
+from repro.dialects import arith, math as math_d, memref as memref_d, stencil
+from repro.dialects.builtin import ModuleOp
+from repro.dialects.func import FuncOp, ReturnOp
+from repro.ir.core import Block, SSAValue, VerifyException
+from repro.ir.types import MemRefType, f64
+from repro.frontends.expr import (
+    BinOp,
+    Constant,
+    Expr,
+    FieldAccess,
+    GridIndex,
+    ScalarRef,
+    SmallDataAccess,
+    UnaryOp,
+)
+
+
+class FrontendError(Exception):
+    """Raised for inconsistent kernel declarations."""
+
+
+@dataclass(frozen=True)
+class FieldHandle:
+    """Handle to a declared grid field; indexing yields a relative access."""
+
+    name: str
+    rank: int
+
+    def __getitem__(self, offsets) -> FieldAccess:
+        if not isinstance(offsets, tuple):
+            offsets = (offsets,)
+        if len(offsets) != self.rank:
+            raise FrontendError(
+                f"field '{self.name}' has rank {self.rank}, got {len(offsets)} offsets"
+            )
+        return FieldAccess(self.name, tuple(int(o) for o in offsets))
+
+    @property
+    def centre(self) -> FieldAccess:
+        return FieldAccess(self.name, (0,) * self.rank)
+
+
+@dataclass(frozen=True)
+class SmallDataHandle:
+    """Handle to a small 1-D constant array indexed along one grid dimension."""
+
+    name: str
+    dim: int
+
+    def __getitem__(self, offset: int) -> SmallDataAccess:
+        return SmallDataAccess(self.name, self.dim, int(offset))
+
+    @property
+    def here(self) -> SmallDataAccess:
+        return SmallDataAccess(self.name, self.dim, 0)
+
+
+ScalarHandle = ScalarRef
+
+
+@dataclass
+class StencilDefinition:
+    """One stencil computation: an output field and its defining expression."""
+
+    output: str
+    expression: Expr
+    lower: tuple[int, ...] | None = None
+    upper: tuple[int, ...] | None = None
+
+
+class StencilKernelBuilder:
+    """Declarative builder for stencil kernels."""
+
+    def __init__(self, name: str, shape: Sequence[int]) -> None:
+        self.name = name
+        self.shape = tuple(int(s) for s in shape)
+        self.rank = len(self.shape)
+        self._fields: dict[str, bool] = {}          # name -> declared as output
+        self._small_data: dict[str, tuple[int, int]] = {}   # name -> (length, dim)
+        self._scalars: list[str] = []
+        self._stencils: list[StencilDefinition] = []
+
+    # -- declarations ------------------------------------------------------------
+
+    def field(self, name: str, output: bool = False) -> FieldHandle:
+        if name in self._fields or name in self._small_data or name in self._scalars:
+            raise FrontendError(f"argument '{name}' declared twice")
+        self._fields[name] = output
+        return FieldHandle(name, self.rank)
+
+    def input_field(self, name: str) -> FieldHandle:
+        return self.field(name, output=False)
+
+    def output_field(self, name: str) -> FieldHandle:
+        return self.field(name, output=True)
+
+    def small_data(self, name: str, length: int, dim: int | None = None) -> SmallDataHandle:
+        if name in self._fields or name in self._small_data or name in self._scalars:
+            raise FrontendError(f"argument '{name}' declared twice")
+        dim = self.rank - 1 if dim is None else dim
+        self._small_data[name] = (int(length), int(dim))
+        return SmallDataHandle(name, dim)
+
+    def scalar(self, name: str) -> ScalarRef:
+        if name in self._fields or name in self._small_data or name in self._scalars:
+            raise FrontendError(f"argument '{name}' declared twice")
+        self._scalars.append(name)
+        return ScalarRef(name)
+
+    # -- stencil definitions --------------------------------------------------------
+
+    def add_stencil(
+        self,
+        output: FieldHandle | str,
+        expression: Expr,
+        lower: Sequence[int] | None = None,
+        upper: Sequence[int] | None = None,
+    ) -> StencilDefinition:
+        output_name = output.name if isinstance(output, FieldHandle) else output
+        if output_name not in self._fields:
+            raise FrontendError(f"'{output_name}' is not a declared field")
+        # A field that gets written is an output, even if declared as input.
+        self._fields[output_name] = True
+        for read in expression.fields_read():
+            if read not in self._fields:
+                raise FrontendError(f"expression reads undeclared field '{read}'")
+        for read in expression.small_data_read():
+            if read not in self._small_data:
+                raise FrontendError(f"expression reads undeclared small data '{read}'")
+        for read in expression.scalars_read():
+            if read not in self._scalars:
+                raise FrontendError(f"expression reads undeclared scalar '{read}'")
+        definition = StencilDefinition(
+            output=output_name,
+            expression=expression,
+            lower=tuple(lower) if lower is not None else None,
+            upper=tuple(upper) if upper is not None else None,
+        )
+        self._stencils.append(definition)
+        return definition
+
+    # -- queries ----------------------------------------------------------------------
+
+    @property
+    def num_stencils(self) -> int:
+        return len(self._stencils)
+
+    @property
+    def max_radius(self) -> int:
+        return max((d.expression.max_radius() for d in self._stencils), default=1) or 1
+
+    def default_domain(self) -> tuple[tuple[int, ...], tuple[int, ...]]:
+        radius = max(self.max_radius, 1)
+        lower = tuple(radius for _ in self.shape)
+        upper = tuple(extent - radius for extent in self.shape)
+        return lower, upper
+
+    # -- module construction --------------------------------------------------------------
+
+    def build(self) -> ModuleOp:
+        if not self._stencils:
+            raise FrontendError(f"kernel '{self.name}' has no stencil definitions")
+        module = ModuleOp()
+        field_names = list(self._fields)
+        small_names = list(self._small_data)
+        scalar_names = list(self._scalars)
+
+        arg_types = []
+        for _ in field_names:
+            arg_types.append(MemRefType(self.shape, f64))
+        for name in small_names:
+            length, _dim = self._small_data[name]
+            arg_types.append(MemRefType([length], f64))
+        for _ in scalar_names:
+            arg_types.append(f64)
+
+        func = FuncOp.with_body(self.name, arg_types, [])
+        module.add_op(func)
+        entry = func.entry_block
+        all_names = field_names + small_names + scalar_names
+        args_by_name: dict[str, SSAValue] = {}
+        for arg, name in zip(entry.args, all_names):
+            arg.name_hint = name
+            args_by_name[name] = arg
+
+        default_lower, default_upper = self.default_domain()
+        bounds = [(0, extent) for extent in self.shape]
+        field_type = stencil.FieldType(bounds, f64)
+
+        for definition in self._stencils:
+            self._emit_stencil(
+                entry,
+                definition,
+                args_by_name,
+                field_type,
+                default_lower,
+                default_upper,
+            )
+
+        entry.add_op(ReturnOp())
+        return module
+
+    # -- per-stencil emission ----------------------------------------------------------------
+
+    def _emit_stencil(
+        self,
+        block: Block,
+        definition: StencilDefinition,
+        args_by_name: dict[str, SSAValue],
+        field_type: stencil.FieldType,
+        default_lower: tuple[int, ...],
+        default_upper: tuple[int, ...],
+    ) -> None:
+        expression = definition.expression
+        read_fields = [name for name in self._fields if name in expression.fields_read()]
+        read_small = [name for name in self._small_data if name in expression.small_data_read()]
+        read_scalars = [name for name in self._scalars if name in expression.scalars_read()]
+
+        # Fresh loads per stencil so writes by earlier stencils are observed
+        # (this is how inter-stencil dependencies are expressed in the IR).
+        temps: dict[str, SSAValue] = {}
+        for name in read_fields:
+            ext = stencil.ExternalLoadOp(args_by_name[name], field_type)
+            ext.result.name_hint = f"{name}_field"
+            block.add_op(ext)
+            load = stencil.LoadOp(ext.result)
+            load.result.name_hint = f"{name}_temp"
+            block.add_op(load)
+            temps[name] = load.result
+
+        operands: list[SSAValue] = [temps[name] for name in read_fields]
+        operands += [args_by_name[name] for name in read_small]
+        operands += [args_by_name[name] for name in read_scalars]
+
+        apply_op = stencil.ApplyOp(operands, [stencil.TempType([-1] * self.rank, f64)])
+        block.add_op(apply_op)
+        body = apply_op.body
+        arg_index = {name: i for i, name in enumerate(read_fields + read_small + read_scalars)}
+
+        value = self._emit_expr(body, expression, arg_index, body.args)
+        body.add_op(stencil.ReturnOp([value]))
+
+        out_ext = stencil.ExternalLoadOp(args_by_name[definition.output], field_type)
+        out_ext.result.name_hint = f"{definition.output}_field"
+        block.add_op(out_ext)
+        lower = definition.lower if definition.lower is not None else default_lower
+        upper = definition.upper if definition.upper is not None else default_upper
+        block.add_op(stencil.StoreOp(apply_op.results[0], out_ext.result, lower, upper))
+
+    def _emit_expr(
+        self,
+        body: Block,
+        expression: Expr,
+        arg_index: dict[str, int],
+        block_args: Sequence[SSAValue],
+    ) -> SSAValue:
+        if isinstance(expression, FieldAccess):
+            access = stencil.AccessOp(block_args[arg_index[expression.field]], expression.offset)
+            body.add_op(access)
+            return access.result
+        if isinstance(expression, ScalarRef):
+            return block_args[arg_index[expression.name]]
+        if isinstance(expression, Constant):
+            const = arith.ConstantOp.from_float(expression.value)
+            body.add_op(const)
+            return const.result
+        if isinstance(expression, SmallDataAccess):
+            index_op = stencil.IndexOp(expression.dim)
+            body.add_op(index_op)
+            index_value = index_op.result
+            if expression.offset:
+                offset = arith.ConstantOp.from_index(expression.offset)
+                body.add_op(offset)
+                add = arith.AddiOp(index_value, offset.result)
+                body.add_op(add)
+                index_value = add.result
+            load = memref_d.LoadOp(block_args[arg_index[expression.name]], [index_value])
+            body.add_op(load)
+            return load.result
+        if isinstance(expression, GridIndex):
+            index_op = stencil.IndexOp(expression.dim)
+            body.add_op(index_op)
+            to_float = arith.SIToFPOp(index_op.result, f64)
+            body.add_op(to_float)
+            return to_float.result
+        if isinstance(expression, BinOp):
+            lhs = self._emit_expr(body, expression.lhs, arg_index, block_args)
+            rhs = self._emit_expr(body, expression.rhs, arg_index, block_args)
+            op_class = {
+                "+": arith.AddfOp,
+                "-": arith.SubfOp,
+                "*": arith.MulfOp,
+                "/": arith.DivfOp,
+                "max": arith.MaximumfOp,
+                "min": arith.MinimumfOp,
+            }[expression.op]
+            op = op_class(lhs, rhs)
+            body.add_op(op)
+            return op.result
+        if isinstance(expression, UnaryOp):
+            operand = self._emit_expr(body, expression.operand, arg_index, block_args)
+            if expression.op == "neg":
+                op = arith.NegfOp(operand)
+            elif expression.op == "abs":
+                op = math_d.AbsFOp(operand)
+            elif expression.op == "sqrt":
+                op = math_d.SqrtOp(operand)
+            elif expression.op == "exp":
+                op = math_d.ExpOp(operand)
+            else:  # pragma: no cover - guarded by UnaryOp.__post_init__
+                raise FrontendError(f"unknown unary operator '{expression.op}'")
+            body.add_op(op)
+            return op.result
+        raise FrontendError(f"cannot lower expression node {expression!r}")

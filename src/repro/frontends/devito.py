@@ -1,0 +1,124 @@
+"""Devito-like symbolic frontend.
+
+Devito expresses PDE kernels as symbolic equations over functions defined on
+a grid; its MLIR backend lowers them into the stencil dialect.  This module
+provides a minimal work-alike surface (``DevitoGrid``, ``DevitoFunction``,
+``Eq``, ``DevitoOperator``) that produces exactly the same stencil-dialect
+modules as the other frontends, so Stencil-HMLS can be driven from symbolic
+equations as the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.dialects.builtin import ModuleOp
+from repro.frontends.builder import FieldHandle, StencilKernelBuilder
+from repro.frontends.expr import Expr, FieldAccess, ScalarRef
+
+
+class DevitoError(Exception):
+    """Raised for inconsistent symbolic kernel definitions."""
+
+
+@dataclass(frozen=True)
+class DevitoGrid:
+    """A structured grid; all functions of one operator share it."""
+
+    shape: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+
+class DevitoFunction:
+    """A grid function; indexing with relative offsets yields accesses."""
+
+    def __init__(self, name: str, grid: DevitoGrid) -> None:
+        self.name = name
+        self.grid = grid
+
+    def __getitem__(self, offsets) -> FieldAccess:
+        if not isinstance(offsets, tuple):
+            offsets = (offsets,)
+        if len(offsets) != self.grid.rank:
+            raise DevitoError(
+                f"function '{self.name}' is {self.grid.rank}-dimensional, "
+                f"got {len(offsets)} offsets"
+            )
+        return FieldAccess(self.name, tuple(int(o) for o in offsets))
+
+    @property
+    def centre(self) -> FieldAccess:
+        return FieldAccess(self.name, (0,) * self.grid.rank)
+
+
+class DevitoConstant(ScalarRef):
+    """A scalar parameter of the operator (named constant)."""
+
+
+@dataclass(frozen=True)
+class Eq:
+    """A symbolic equation assigning an expression to a function."""
+
+    lhs: DevitoFunction | FieldAccess
+    rhs: Expr
+
+    @property
+    def target_name(self) -> str:
+        if isinstance(self.lhs, DevitoFunction):
+            return self.lhs.name
+        if isinstance(self.lhs, FieldAccess):
+            if any(self.lhs.offset):
+                raise DevitoError("the left hand side of an Eq must be the centre point")
+            return self.lhs.field
+        raise DevitoError(f"unsupported Eq left hand side: {self.lhs!r}")
+
+
+class DevitoOperator:
+    """Collects equations and lowers them to a stencil-dialect module."""
+
+    def __init__(self, equations: Sequence[Eq], name: str = "devito_kernel") -> None:
+        if not equations:
+            raise DevitoError("an operator needs at least one equation")
+        self.equations = list(equations)
+        self.name = name
+
+    def build_module(self) -> ModuleOp:
+        grid = self._grid()
+        builder = StencilKernelBuilder(self.name, grid.shape)
+        declared: dict[str, FieldHandle] = {}
+
+        def declare_field(name: str) -> None:
+            if name not in declared:
+                declared[name] = builder.field(name)
+
+        # Declare every function (inputs first, in order of appearance).
+        for eq in self.equations:
+            for name in sorted(eq.rhs.fields_read()):
+                declare_field(name)
+            declare_field(eq.target_name)
+            for scalar in sorted(eq.rhs.scalars_read()):
+                if scalar not in builder._scalars:
+                    builder.scalar(scalar)
+
+        for eq in self.equations:
+            builder.add_stencil(eq.target_name, eq.rhs)
+        return builder.build()
+
+    def _grid(self) -> DevitoGrid:
+        grids = {
+            eq.lhs.grid
+            for eq in self.equations
+            if isinstance(eq.lhs, DevitoFunction)
+        }
+        if len(grids) > 1:
+            raise DevitoError("all equations of an operator must share one grid")
+        if grids:
+            return next(iter(grids))
+        raise DevitoError("could not infer the grid; use DevitoFunction left hand sides")

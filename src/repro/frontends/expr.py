@@ -1,0 +1,195 @@
+"""Expression AST shared by all frontends.
+
+A small, side-effect free expression language over grid fields: relative
+field accesses, scalar parameters, small (1-D) constant arrays indexed by a
+grid dimension, grid indices and the usual floating point arithmetic.  The
+kernel builder lowers this AST into a ``stencil.apply`` region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Union
+
+Number = Union[int, float]
+
+
+class Expr:
+    """Base class of all expression nodes; supports Python operators."""
+
+    # -- operator overloading -------------------------------------------------
+
+    def __add__(self, other: "Expr | Number") -> "BinOp":
+        return BinOp("+", self, _wrap(other))
+
+    def __radd__(self, other: "Expr | Number") -> "BinOp":
+        return BinOp("+", _wrap(other), self)
+
+    def __sub__(self, other: "Expr | Number") -> "BinOp":
+        return BinOp("-", self, _wrap(other))
+
+    def __rsub__(self, other: "Expr | Number") -> "BinOp":
+        return BinOp("-", _wrap(other), self)
+
+    def __mul__(self, other: "Expr | Number") -> "BinOp":
+        return BinOp("*", self, _wrap(other))
+
+    def __rmul__(self, other: "Expr | Number") -> "BinOp":
+        return BinOp("*", _wrap(other), self)
+
+    def __truediv__(self, other: "Expr | Number") -> "BinOp":
+        return BinOp("/", self, _wrap(other))
+
+    def __rtruediv__(self, other: "Expr | Number") -> "BinOp":
+        return BinOp("/", _wrap(other), self)
+
+    def __neg__(self) -> "UnaryOp":
+        return UnaryOp("neg", self)
+
+    # -- queries ------------------------------------------------------------------
+
+    def fields_read(self) -> set[str]:
+        """Names of grid fields referenced by this expression."""
+        found: set[str] = set()
+        _collect(self, FieldAccess, lambda node: found.add(node.field))
+        return found
+
+    def scalars_read(self) -> set[str]:
+        found: set[str] = set()
+        _collect(self, ScalarRef, lambda node: found.add(node.name))
+        return found
+
+    def small_data_read(self) -> set[str]:
+        found: set[str] = set()
+        _collect(self, SmallDataAccess, lambda node: found.add(node.name))
+        return found
+
+    def accesses(self) -> list["FieldAccess"]:
+        found: list[FieldAccess] = []
+        _collect(self, FieldAccess, found.append)
+        return found
+
+    def max_radius(self) -> int:
+        radius = 0
+        for access in self.accesses():
+            for component in access.offset:
+                radius = max(radius, abs(component))
+        return radius
+
+    def count_flops(self) -> int:
+        count = 0
+
+        def visit(node: Expr) -> None:
+            nonlocal count
+            if isinstance(node, (BinOp, UnaryOp)):
+                count += 1
+
+        _collect(self, Expr, visit)
+        return count
+
+
+@dataclass(frozen=True)
+class FieldAccess(Expr):
+    """``u[i+di, j+dj, k+dk]`` — read a field at a relative offset."""
+
+    field: str
+    offset: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "offset", tuple(int(o) for o in self.offset))
+
+
+@dataclass(frozen=True)
+class ScalarRef(Expr):
+    """A scalar kernel parameter (time step, grid spacing, ...)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class SmallDataAccess(Expr):
+    """``c[k + offset]`` — read a small 1-D constant array along one grid dim."""
+
+    name: str
+    dim: int
+    offset: int = 0
+
+
+@dataclass(frozen=True)
+class GridIndex(Expr):
+    """The current grid index along a dimension, as a floating point value."""
+
+    dim: int
+
+
+@dataclass(frozen=True)
+class Constant(Expr):
+    """A floating point literal."""
+
+    value: float
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    op: str      # '+', '-', '*', '/', 'max', 'min'
+    lhs: Expr
+    rhs: Expr
+
+    VALID_OPS = ("+", "-", "*", "/", "max", "min")
+
+    def __post_init__(self) -> None:
+        if self.op not in self.VALID_OPS:
+            raise ValueError(f"unknown binary operator '{self.op}'")
+
+
+@dataclass(frozen=True)
+class UnaryOp(Expr):
+    op: str      # 'neg', 'abs', 'sqrt', 'exp'
+    operand: Expr
+
+    VALID_OPS = ("neg", "abs", "sqrt", "exp")
+
+    def __post_init__(self) -> None:
+        if self.op not in self.VALID_OPS:
+            raise ValueError(f"unknown unary operator '{self.op}'")
+
+
+# -- convenience constructors -----------------------------------------------------
+
+
+def _wrap(value: "Expr | Number") -> Expr:
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, (int, float)):
+        return Constant(float(value))
+    raise TypeError(f"cannot use {value!r} in a stencil expression")
+
+
+def fmax(lhs: "Expr | Number", rhs: "Expr | Number") -> BinOp:
+    return BinOp("max", _wrap(lhs), _wrap(rhs))
+
+
+def fmin(lhs: "Expr | Number", rhs: "Expr | Number") -> BinOp:
+    return BinOp("min", _wrap(lhs), _wrap(rhs))
+
+
+def fabs(value: "Expr | Number") -> UnaryOp:
+    return UnaryOp("abs", _wrap(value))
+
+
+def sqrt(value: "Expr | Number") -> UnaryOp:
+    return UnaryOp("sqrt", _wrap(value))
+
+
+def _collect(root: Expr, node_type: type, action) -> None:
+    """Walk the expression tree and call ``action`` on nodes of ``node_type``."""
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, node_type):
+            action(node)
+        if isinstance(node, BinOp):
+            stack.append(node.lhs)
+            stack.append(node.rhs)
+        elif isinstance(node, UnaryOp):
+            stack.append(node.operand)

@@ -1,0 +1,262 @@
+"""PSyclone-like Fortran frontend.
+
+PSyclone is the Fortran DSL the paper evaluates with: the scientist writes
+Fortran array assignments, PSyclone's xDSL backend turns them into the
+stencil dialect.  This module parses the same style of Fortran statements::
+
+    su(i,j,k) = tzc1(k)*u(i,j,k-1) + tzc2(k)*u(i,j,k+1) - 0.5*dt*u(i,j,k)
+
+and produces the stencil-dialect module through the shared kernel builder.
+Supported syntax: array references with index expressions ``i±c``/``j±c``/
+``k±c``, scalar parameters, floating point literals, ``+ - * /``,
+parentheses, and the intrinsics ``abs``, ``sqrt``, ``exp``, ``max``, ``min``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.dialects.builtin import ModuleOp
+from repro.frontends.builder import StencilKernelBuilder
+from repro.frontends.expr import (
+    BinOp,
+    Constant,
+    Expr,
+    FieldAccess,
+    ScalarRef,
+    SmallDataAccess,
+    UnaryOp,
+)
+
+
+class PSycloneParseError(Exception):
+    """Raised when a kernel statement cannot be parsed."""
+
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<number>\d+\.\d*(?:[eEdD][+-]?\d+)?|\.\d+|\d+(?:[eEdD][+-]?\d+)?)"
+    r"|(?P<name>[A-Za-z_][A-Za-z_0-9]*)"
+    r"|(?P<symbol>\*\*|[()+\-*/,=]))"
+)
+
+
+@dataclass
+class _Token:
+    kind: str
+    text: str
+
+
+def _tokenise(text: str) -> list[_Token]:
+    tokens: list[_Token] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            if text[pos:].strip() == "":
+                break
+            raise PSycloneParseError(f"unexpected character {text[pos]!r} in: {text}")
+        pos = match.end()
+        for kind in ("number", "name", "symbol"):
+            value = match.group(kind)
+            if value is not None:
+                tokens.append(_Token(kind, value))
+                break
+    return tokens
+
+
+@dataclass
+class PSycloneKernel:
+    """Declaration of a PSyclone-style kernel: arguments plus Fortran body."""
+
+    name: str
+    shape: tuple[int, ...]
+    field_args: list[str]
+    scalar_args: list[str] = field(default_factory=list)
+    small_data_args: dict[str, int] = field(default_factory=dict)   # name -> length
+    statements: list[str] = field(default_factory=list)
+    index_names: tuple[str, ...] = ("i", "j", "k")
+
+    def add_statement(self, statement: str) -> None:
+        self.statements.append(statement)
+
+
+class _Parser:
+    """Recursive descent parser for one Fortran assignment statement."""
+
+    def __init__(self, tokens: list[_Token], kernel: PSycloneKernel) -> None:
+        self.tokens = tokens
+        self.kernel = kernel
+        self.pos = 0
+
+    # -- token helpers -----------------------------------------------------------
+
+    def _peek(self) -> _Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def _next(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise PSycloneParseError("unexpected end of statement")
+        self.pos += 1
+        return token
+
+    def _expect(self, text: str) -> None:
+        token = self._next()
+        if token.text != text:
+            raise PSycloneParseError(f"expected '{text}', found '{token.text}'")
+
+    # -- grammar --------------------------------------------------------------------
+
+    def parse_assignment(self) -> tuple[str, Expr]:
+        target = self._next()
+        if target.kind != "name":
+            raise PSycloneParseError("assignment must start with an array reference")
+        self._expect("(")
+        offsets = self._parse_index_list()
+        if any(offsets):
+            raise PSycloneParseError("the assignment target must be the centre point")
+        self._expect("=")
+        expression = self.parse_expression()
+        if self._peek() is not None:
+            raise PSycloneParseError(f"trailing tokens after expression: '{self._peek().text}'")
+        return target.text, expression
+
+    def parse_expression(self) -> Expr:
+        node = self.parse_term()
+        while (token := self._peek()) is not None and token.text in ("+", "-"):
+            self._next()
+            rhs = self.parse_term()
+            node = BinOp(token.text, node, rhs)
+        return node
+
+    def parse_term(self) -> Expr:
+        node = self.parse_unary()
+        while (token := self._peek()) is not None and token.text in ("*", "/"):
+            self._next()
+            rhs = self.parse_unary()
+            node = BinOp(token.text, node, rhs)
+        return node
+
+    def parse_unary(self) -> Expr:
+        token = self._peek()
+        if token is not None and token.text == "-":
+            self._next()
+            return UnaryOp("neg", self.parse_unary())
+        if token is not None and token.text == "+":
+            self._next()
+            return self.parse_unary()
+        return self.parse_primary()
+
+    def parse_primary(self) -> Expr:
+        token = self._next()
+        if token.kind == "number":
+            return Constant(float(token.text.replace("d", "e").replace("D", "E")))
+        if token.text == "(":
+            node = self.parse_expression()
+            self._expect(")")
+            return node
+        if token.kind == "name":
+            return self._parse_reference(token.text)
+        raise PSycloneParseError(f"unexpected token '{token.text}'")
+
+    # -- references ---------------------------------------------------------------------
+
+    def _parse_reference(self, name: str) -> Expr:
+        lowered = name.lower()
+        next_token = self._peek()
+        if next_token is not None and next_token.text == "(":
+            if lowered in ("abs", "sqrt", "exp"):
+                self._next()
+                argument = self.parse_expression()
+                self._expect(")")
+                return UnaryOp({"abs": "abs", "sqrt": "sqrt", "exp": "exp"}[lowered], argument)
+            if lowered in ("max", "min"):
+                self._next()
+                lhs = self.parse_expression()
+                self._expect(",")
+                rhs = self.parse_expression()
+                self._expect(")")
+                return BinOp(lowered, lhs, rhs)
+            # Array reference.
+            self._next()
+            if name in self.kernel.field_args:
+                offsets = self._parse_index_list()
+                if len(offsets) != len(self.kernel.shape):
+                    raise PSycloneParseError(
+                        f"field '{name}' indexed with {len(offsets)} indices, expected "
+                        f"{len(self.kernel.shape)}"
+                    )
+                return FieldAccess(name, tuple(offsets))
+            if name in self.kernel.small_data_args:
+                dim, offset = self._parse_single_index()
+                return SmallDataAccess(name, dim, offset)
+            raise PSycloneParseError(f"reference to undeclared array '{name}'")
+        if name in self.kernel.scalar_args:
+            return ScalarRef(name)
+        raise PSycloneParseError(f"reference to undeclared symbol '{name}'")
+
+    def _parse_index_list(self) -> list[int]:
+        offsets: list[int] = []
+        while True:
+            offsets.append(self._parse_index_expr()[1])
+            token = self._next()
+            if token.text == ")":
+                return offsets
+            if token.text != ",":
+                raise PSycloneParseError(f"expected ',' or ')' in index list, found '{token.text}'")
+
+    def _parse_single_index(self) -> tuple[int, int]:
+        dim, offset = self._parse_index_expr()
+        self._expect(")")
+        return dim, offset
+
+    def _parse_index_expr(self) -> tuple[int, int]:
+        """Parse ``i``, ``j+1``, ``k-2`` style index expressions."""
+        token = self._next()
+        if token.kind != "name" or token.text not in self.kernel.index_names:
+            raise PSycloneParseError(
+                f"index expressions must use {self.kernel.index_names}, found '{token.text}'"
+            )
+        dim = self.kernel.index_names.index(token.text)
+        offset = 0
+        peeked = self._peek()
+        if peeked is not None and peeked.text in ("+", "-"):
+            sign = 1 if self._next().text == "+" else -1
+            number = self._next()
+            if number.kind != "number":
+                raise PSycloneParseError("index offsets must be integer literals")
+            offset = sign * int(float(number.text))
+        return dim, offset
+
+
+class PSycloneFrontend:
+    """Lower PSyclone-style kernels to the stencil dialect."""
+
+    def lower(self, kernel: PSycloneKernel) -> ModuleOp:
+        builder = self.builder_for(kernel)
+        return builder.build()
+
+    def builder_for(self, kernel: PSycloneKernel) -> StencilKernelBuilder:
+        if not kernel.statements:
+            raise PSycloneParseError(f"kernel '{kernel.name}' has no statements")
+        builder = StencilKernelBuilder(kernel.name, kernel.shape)
+        for name in kernel.field_args:
+            builder.field(name)
+        for name, length in kernel.small_data_args.items():
+            builder.small_data(name, length, dim=len(kernel.shape) - 1)
+        for name in kernel.scalar_args:
+            builder.scalar(name)
+        for statement in kernel.statements:
+            target, expression = self.parse_statement(statement, kernel)
+            builder.add_stencil(target, expression)
+        return builder
+
+    def parse_statement(self, statement: str, kernel: PSycloneKernel) -> tuple[str, Expr]:
+        tokens = _tokenise(statement)
+        parser = _Parser(tokens, kernel)
+        target, expression = parser.parse_assignment()
+        if target not in kernel.field_args:
+            raise PSycloneParseError(f"assignment target '{target}' is not a field argument")
+        return target, expression

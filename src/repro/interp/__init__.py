@@ -1,0 +1,22 @@
+"""Reference interpreter for the IR.
+
+Executes ``func``/``scf``/``arith``/``math``/``memref``/``stencil`` level IR
+directly on numpy buffers.  Used throughout the test suite to check that
+every lowering preserves the semantics of the original stencil program.
+"""
+
+from repro.interp.interpreter import (
+    FieldValue,
+    Interpreter,
+    InterpreterError,
+    TempValue,
+    interpret_stencil_module,
+)
+
+__all__ = [
+    "FieldValue",
+    "Interpreter",
+    "InterpreterError",
+    "TempValue",
+    "interpret_stencil_module",
+]

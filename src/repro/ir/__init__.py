@@ -1,0 +1,62 @@
+"""Self-contained SSA IR framework (an xDSL/MLIR work-alike).
+
+The paper's contribution is a set of IR-to-IR transformations built with
+xDSL, the Python sibling of MLIR.  This package provides the IR
+infrastructure those transformations need: attributes and types, SSA
+values, operations with nested regions, a builder, a textual printer and
+parser, structural verification, a greedy pattern rewriter and a pass
+manager.
+"""
+
+from repro.ir.core import (
+    Attribute,
+    Block,
+    BlockArgument,
+    IRNode,
+    OpResult,
+    Operation,
+    OpTrait,
+    Region,
+    SSAValue,
+    IsTerminator,
+    Pure,
+    VerifyException,
+)
+from repro.ir.builder import Builder, InsertPoint
+from repro.ir.parser import ParseError, parse_module
+from repro.ir.printer import Printer, print_module
+from repro.ir.rewriter import (
+    PatternRewriter,
+    RewritePattern,
+    GreedyRewriteDriver,
+)
+from repro.ir.passes import ModulePass, PassManager, PassStatistics
+from repro.ir.verifier import verify_module
+
+__all__ = [
+    "Attribute",
+    "Block",
+    "BlockArgument",
+    "Builder",
+    "GreedyRewriteDriver",
+    "InsertPoint",
+    "IRNode",
+    "IsTerminator",
+    "ModulePass",
+    "Operation",
+    "OpResult",
+    "OpTrait",
+    "ParseError",
+    "PassManager",
+    "PassStatistics",
+    "PatternRewriter",
+    "Printer",
+    "Pure",
+    "Region",
+    "RewritePattern",
+    "SSAValue",
+    "VerifyException",
+    "parse_module",
+    "print_module",
+    "verify_module",
+]

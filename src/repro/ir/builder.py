@@ -1,0 +1,135 @@
+"""IR construction helpers: insertion points and a stateful builder."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.ir.core import Attribute, Block, Operation, Region, SSAValue
+
+
+@dataclass
+class InsertPoint:
+    """A position within a block where new operations are inserted.
+
+    ``index`` of ``None`` means "append at the end of the block".
+    """
+
+    block: Block
+    index: int | None = None
+
+    @classmethod
+    def at_end(cls, block: Block) -> "InsertPoint":
+        return cls(block, None)
+
+    @classmethod
+    def at_start(cls, block: Block) -> "InsertPoint":
+        return cls(block, 0)
+
+    @classmethod
+    def before(cls, op: Operation) -> "InsertPoint":
+        assert op.parent is not None, "operation is not attached to a block"
+        return cls(op.parent, op.parent.index_of(op))
+
+    @classmethod
+    def after(cls, op: Operation) -> "InsertPoint":
+        assert op.parent is not None, "operation is not attached to a block"
+        return cls(op.parent, op.parent.index_of(op) + 1)
+
+
+class Builder:
+    """Inserts operations at a movable insertion point.
+
+    The builder is the main way transformations create IR.  It also offers
+    context managers to temporarily build inside a different block, which
+    keeps nested-region construction readable.
+    """
+
+    def __init__(self, insert_point: InsertPoint | Block) -> None:
+        if isinstance(insert_point, Block):
+            insert_point = InsertPoint.at_end(insert_point)
+        self.insert_point = insert_point
+
+    @classmethod
+    def at_end(cls, block: Block) -> "Builder":
+        return cls(InsertPoint.at_end(block))
+
+    @classmethod
+    def at_start(cls, block: Block) -> "Builder":
+        return cls(InsertPoint.at_start(block))
+
+    @classmethod
+    def before(cls, op: Operation) -> "Builder":
+        return cls(InsertPoint.before(op))
+
+    @classmethod
+    def after(cls, op: Operation) -> "Builder":
+        return cls(InsertPoint.after(op))
+
+    # -- insertion ----------------------------------------------------------
+
+    def insert(self, op: Operation) -> Operation:
+        block = self.insert_point.block
+        if self.insert_point.index is None:
+            block.add_op(op)
+        else:
+            block.insert_op(op, self.insert_point.index)
+            self.insert_point.index += 1
+        return op
+
+    def insert_all(self, ops: Sequence[Operation]) -> list[Operation]:
+        return [self.insert(op) for op in ops]
+
+    # -- block / region construction ----------------------------------------
+
+    def create_block(
+        self, region: Region, arg_types: Sequence[Attribute] = ()
+    ) -> Block:
+        block = Block(arg_types)
+        region.add_block(block)
+        return block
+
+    @contextmanager
+    def at(self, insert_point: InsertPoint | Block) -> Iterator["Builder"]:
+        """Temporarily redirect insertions to a different point."""
+        if isinstance(insert_point, Block):
+            insert_point = InsertPoint.at_end(insert_point)
+        saved = self.insert_point
+        self.insert_point = insert_point
+        try:
+            yield self
+        finally:
+            self.insert_point = saved
+
+    # -- convenience --------------------------------------------------------
+
+    def current_block(self) -> Block:
+        return self.insert_point.block
+
+
+def build_region(
+    arg_types: Sequence[Attribute],
+    body_builder,
+) -> Region:
+    """Build a single-block region by calling ``body_builder(builder, args)``."""
+    block = Block(arg_types)
+    region = Region([block])
+    builder = Builder.at_end(block)
+    body_builder(builder, tuple(block.args))
+    return region
+
+
+def clone_into(
+    target: Block,
+    ops: Sequence[Operation],
+    value_map: dict[SSAValue, SSAValue] | None = None,
+) -> list[Operation]:
+    """Clone ``ops`` (remapping through ``value_map``) and append to ``target``."""
+    value_map = value_map if value_map is not None else {}
+    cloned: list[Operation] = []
+    for op in ops:
+        new_op = op.clone(value_map)
+        target.add_op(new_op)
+        cloned.append(new_op)
+    return cloned

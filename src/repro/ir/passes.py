@@ -1,0 +1,82 @@
+"""Module passes and the pass manager driving the compilation pipeline."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.ir.core import Operation, VerifyException
+from repro.ir.verifier import verify_module
+
+
+@dataclass
+class PassStatistics:
+    """Timing and change information recorded for each executed pass."""
+
+    name: str
+    seconds: float
+    changed: bool
+    note: str = ""
+
+
+class ModulePass:
+    """A transformation over a whole module (a ``builtin.module`` op)."""
+
+    name: str = "unnamed-pass"
+
+    def apply(self, module: Operation) -> bool:
+        """Transform ``module`` in place; return whether anything changed."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<ModulePass {self.name}>"
+
+
+class FunctionPassAdapter(ModulePass):
+    """Lift a per-function callable into a module pass."""
+
+    def __init__(self, name: str, fn: Callable[[Operation], bool]) -> None:
+        self.name = name
+        self.fn = fn
+
+    def apply(self, module: Operation) -> bool:
+        from repro.dialects.func import FuncOp
+
+        changed = False
+        for func in list(module.walk_type(FuncOp)):
+            changed |= bool(self.fn(func))
+        return changed
+
+
+@dataclass
+class PassManager:
+    """Runs a sequence of module passes, optionally verifying between them."""
+
+    passes: list[ModulePass] = field(default_factory=list)
+    verify_each: bool = True
+    statistics: list[PassStatistics] = field(default_factory=list)
+
+    def add(self, *passes: ModulePass) -> "PassManager":
+        self.passes.extend(passes)
+        return self
+
+    def run(self, module: Operation) -> Operation:
+        if self.verify_each:
+            verify_module(module)
+        for pass_ in self.passes:
+            start = time.perf_counter()
+            changed = pass_.apply(module)
+            elapsed = time.perf_counter() - start
+            self.statistics.append(PassStatistics(pass_.name, elapsed, bool(changed)))
+            if self.verify_each:
+                try:
+                    verify_module(module)
+                except VerifyException as err:
+                    raise VerifyException(
+                        f"verification failed after pass '{pass_.name}': {err}"
+                    ) from err
+        return module
+
+    def pipeline_description(self) -> str:
+        return ",".join(p.name for p in self.passes)

@@ -1,0 +1,123 @@
+"""MLIR-flavoured textual printer for the IR.
+
+The output format intentionally mirrors the generic MLIR form::
+
+    %0 = "arith.addf"(%a, %b) : (f64, f64) -> f64
+
+so that the listings in the paper (stencil and HLS dialect examples) have a
+recognisable shape.  The printer is deterministic: value names are assigned
+in program order, honouring ``name_hint`` when available.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import TextIO
+
+from repro.ir.core import Attribute, Block, Operation, Region, SSAValue
+from repro.ir.attributes import (
+    ArrayAttr,
+    BoolAttr,
+    DenseIntArrayAttr,
+    DictionaryAttr,
+    FloatAttr,
+    IntAttr,
+    StringAttr,
+    SymbolRefAttr,
+    TypeAttr,
+    UnitAttr,
+)
+
+
+class Printer:
+    """Stateful printer assigning stable SSA names."""
+
+    def __init__(self, stream: TextIO | None = None, indent_width: int = 2) -> None:
+        self.stream = stream if stream is not None else io.StringIO()
+        self.indent_width = indent_width
+        self._names: dict[SSAValue, str] = {}
+        self._used_names: set[str] = set()
+        self._counter = 0
+
+    # -- naming --------------------------------------------------------------
+
+    def name_of(self, value: SSAValue) -> str:
+        if value not in self._names:
+            hint = value.name_hint
+            if hint and f"%{hint}" not in self._used_names:
+                name = f"%{hint}"
+            else:
+                name = f"%{self._counter}"
+                self._counter += 1
+            self._names[value] = name
+            self._used_names.add(name)
+        return self._names[value]
+
+    # -- attribute printing ---------------------------------------------------
+
+    def attr_str(self, attr: Attribute) -> str:
+        if isinstance(attr, (IntAttr, FloatAttr, BoolAttr, StringAttr, SymbolRefAttr,
+                             DenseIntArrayAttr, ArrayAttr, DictionaryAttr, UnitAttr,
+                             TypeAttr)):
+            return str(attr)
+        # Types and dialect-defined attributes print via __str__ if provided.
+        try:
+            return str(attr)
+        except Exception:  # pragma: no cover - defensive
+            return repr(attr)
+
+    # -- op printing -----------------------------------------------------------
+
+    def print_operation(self, op: Operation, indent: int = 0) -> None:
+        pad = " " * (indent * self.indent_width)
+        results = ", ".join(self.name_of(r) for r in op.results)
+        eq = f"{results} = " if results else ""
+        operands = ", ".join(self.name_of(o) for o in op.operands)
+        attrs = ""
+        if op.attributes:
+            inner = ", ".join(
+                f"{k} = {self.attr_str(v)}" for k, v in sorted(op.attributes.items())
+            )
+            attrs = " {" + inner + "}"
+        in_types = ", ".join(str(o.type) for o in op.operands)
+        out_types = ", ".join(str(r.type) for r in op.results)
+        type_sig = f" : ({in_types}) -> ({out_types})"
+        self.stream.write(f'{pad}{eq}"{op.name}"({operands}){attrs}{type_sig}')
+        if op.regions:
+            self.stream.write(" (")
+            for i, region in enumerate(op.regions):
+                if i:
+                    self.stream.write(", ")
+                self.print_region(region, indent)
+            self.stream.write(")")
+        self.stream.write("\n")
+
+    def print_region(self, region: Region, indent: int) -> None:
+        self.stream.write("{\n")
+        for block in region.blocks:
+            self.print_block(block, indent + 1)
+        self.stream.write(" " * (indent * self.indent_width) + "}")
+
+    def print_block(self, block: Block, indent: int) -> None:
+        pad = " " * (indent * self.indent_width)
+        if block.args:
+            args = ", ".join(
+                f"{self.name_of(a)}: {a.type}" for a in block.args
+            )
+            self.stream.write(f"{pad}^bb({args}):\n")
+        for op in block.ops:
+            self.print_operation(op, indent)
+
+    def result(self) -> str:
+        return self.stream.getvalue() if isinstance(self.stream, io.StringIO) else ""
+
+
+def print_module(op: Operation) -> str:
+    """Print an operation (typically a ``builtin.module``) to a string."""
+    printer = Printer()
+    printer.print_operation(op)
+    return printer.result()
+
+
+def print_op(op: Operation) -> str:
+    return print_module(op)

@@ -1,0 +1,156 @@
+"""Pattern rewriting infrastructure (a small greedy driver, MLIR-style)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+from repro.ir.builder import Builder, InsertPoint
+from repro.ir.core import Block, Operation, Region, SSAValue, VerifyException
+
+
+class PatternRewriter:
+    """Mutation interface handed to rewrite patterns.
+
+    Patterns must perform all IR mutation through this object so the driver
+    can track whether anything changed and schedule further iterations.
+    """
+
+    def __init__(self, current_op: Operation) -> None:
+        self.current_op = current_op
+        self.has_changed = False
+        self._erased: set[Operation] = set()
+
+    # -- insertion ------------------------------------------------------------
+
+    def insert_op_before(self, new_op: Operation, anchor: Operation | None = None) -> Operation:
+        anchor = anchor or self.current_op
+        assert anchor.parent is not None
+        anchor.parent.insert_op_before(new_op, anchor)
+        self.has_changed = True
+        return new_op
+
+    def insert_op_after(self, new_op: Operation, anchor: Operation | None = None) -> Operation:
+        anchor = anchor or self.current_op
+        assert anchor.parent is not None
+        anchor.parent.insert_op_after(new_op, anchor)
+        self.has_changed = True
+        return new_op
+
+    def insert_op_at_end(self, new_op: Operation, block: Block) -> Operation:
+        block.add_op(new_op)
+        self.has_changed = True
+        return new_op
+
+    def insert_op_at_start(self, new_op: Operation, block: Block) -> Operation:
+        block.insert_op(new_op, 0)
+        self.has_changed = True
+        return new_op
+
+    # -- replacement ----------------------------------------------------------
+
+    def replace_op(
+        self,
+        op: Operation,
+        new_ops: Operation | Sequence[Operation],
+        new_results: Sequence[SSAValue] | None = None,
+    ) -> None:
+        """Replace ``op`` by ``new_ops``; uses of its results are rewritten.
+
+        ``new_results`` defaults to the results of the last new operation.
+        """
+        if isinstance(new_ops, Operation):
+            new_ops = [new_ops]
+        assert op.parent is not None, "cannot replace a detached operation"
+        block = op.parent
+        index = block.index_of(op)
+        for offset, new_op in enumerate(new_ops):
+            block.insert_op(new_op, index + offset)
+        if new_results is None:
+            new_results = list(new_ops[-1].results) if new_ops else []
+        if len(new_results) != len(op.results):
+            raise VerifyException(
+                f"replace_op: expected {len(op.results)} replacement values, "
+                f"got {len(new_results)}"
+            )
+        for old, new in zip(op.results, new_results):
+            if new is not None:
+                old.replace_all_uses_with(new)
+        op.erase()
+        self._erased.add(op)
+        self.has_changed = True
+
+    def replace_matched_op(
+        self,
+        new_ops: Operation | Sequence[Operation],
+        new_results: Sequence[SSAValue] | None = None,
+    ) -> None:
+        self.replace_op(self.current_op, new_ops, new_results)
+
+    def erase_op(self, op: Operation | None = None, *, safe: bool = True) -> None:
+        op = op or self.current_op
+        op.erase(safe=safe)
+        self._erased.add(op)
+        self.has_changed = True
+
+    def erase_matched_op(self, *, safe: bool = True) -> None:
+        self.erase_op(self.current_op, safe=safe)
+
+    def was_erased(self, op: Operation) -> bool:
+        return op in self._erased
+
+    def notify_change(self) -> None:
+        self.has_changed = True
+
+
+class RewritePattern:
+    """Base class for rewrite patterns.
+
+    ``match_and_rewrite`` mutates the IR through the rewriter when the
+    pattern applies, and simply returns otherwise.
+    """
+
+    #: Optional: restrict the pattern to a specific operation class.
+    op_type: type | None = None
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        raise NotImplementedError
+
+
+class GreedyRewriteDriver:
+    """Applies a set of patterns until fixpoint (bounded number of sweeps)."""
+
+    def __init__(self, patterns: Iterable[RewritePattern], max_iterations: int = 32) -> None:
+        self.patterns = list(patterns)
+        self.max_iterations = max_iterations
+
+    def rewrite_module(self, module: Operation) -> bool:
+        changed_any = False
+        for _ in range(self.max_iterations):
+            changed = self._sweep(module)
+            changed_any |= changed
+            if not changed:
+                break
+        return changed_any
+
+    def _sweep(self, module: Operation) -> bool:
+        changed = False
+        # Materialise the worklist first: patterns may mutate the tree.
+        worklist = list(module.walk())
+        for op in worklist:
+            if op.parent is None and op is not module:
+                continue  # erased or detached by an earlier pattern
+            for pattern in self.patterns:
+                if pattern.op_type is not None and not isinstance(op, pattern.op_type):
+                    continue
+                rewriter = PatternRewriter(op)
+                pattern.match_and_rewrite(op, rewriter)
+                if rewriter.has_changed:
+                    changed = True
+                if rewriter.was_erased(op) or op.parent is None and op is not module:
+                    break
+        return changed
+
+
+def apply_patterns(module: Operation, patterns: Iterable[RewritePattern]) -> bool:
+    """Convenience wrapper around :class:`GreedyRewriteDriver`."""
+    return GreedyRewriteDriver(patterns).rewrite_module(module)

@@ -1,0 +1,96 @@
+"""IR traversal utilities shared by analyses and transformations."""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, TypeVar
+
+from repro.ir.core import Block, BlockArgument, Operation, OpResult, Region, SSAValue
+
+OpT = TypeVar("OpT", bound=Operation)
+
+
+def ops_of_type(root: Operation, op_type: type[OpT]) -> list[OpT]:
+    """All operations of ``op_type`` nested under ``root`` (pre-order)."""
+    return [op for op in root.walk() if isinstance(op, op_type)]
+
+
+def first_op_of_type(root: Operation, op_type: type[OpT]) -> OpT | None:
+    for op in root.walk():
+        if isinstance(op, op_type):
+            return op
+    return None
+
+
+def defining_op(value: SSAValue) -> Operation | None:
+    """The operation producing ``value``, or ``None`` for block arguments."""
+    return value.op if isinstance(value, OpResult) else None
+
+
+def enclosing_op_of_type(op: Operation, op_type: type[OpT]) -> OpT | None:
+    """The innermost ancestor of ``op`` that is an ``op_type``."""
+    parent = op.parent_op()
+    while parent is not None:
+        if isinstance(parent, op_type):
+            return parent
+        parent = parent.parent_op()
+    return None
+
+
+def loop_nest_depth(op: Operation, loop_types: tuple[type, ...]) -> int:
+    """How many loops of the given types enclose ``op``."""
+    depth = 0
+    parent = op.parent_op()
+    while parent is not None:
+        if isinstance(parent, loop_types):
+            depth += 1
+        parent = parent.parent_op()
+    return depth
+
+
+def backward_slice(value: SSAValue, *, stop: Callable[[Operation], bool] | None = None) -> list[Operation]:
+    """Operations transitively contributing to ``value`` (topological order)."""
+    visited: list[Operation] = []
+    seen: set[Operation] = set()
+
+    def visit(v: SSAValue) -> None:
+        op = defining_op(v)
+        if op is None or op in seen:
+            return
+        seen.add(op)
+        if stop is not None and stop(op):
+            visited.append(op)
+            return
+        for operand in op.operands:
+            visit(operand)
+        visited.append(op)
+
+    visit(value)
+    return visited
+
+
+def users_transitive(value: SSAValue) -> set[Operation]:
+    """All operations transitively using ``value`` (through their results)."""
+    result: set[Operation] = set()
+    frontier = [value]
+    while frontier:
+        current = frontier.pop()
+        for user in current.users:
+            if user in result:
+                continue
+            result.add(user)
+            frontier.extend(user.results)
+    return result
+
+
+def count_ops(root: Operation, predicate: Callable[[Operation], bool] | None = None) -> int:
+    if predicate is None:
+        return sum(1 for _ in root.walk())
+    return sum(1 for op in root.walk() if predicate(op))
+
+
+def blocks(root: Operation) -> Iterator[Block]:
+    for region in root.regions:
+        for block in region.blocks:
+            yield block
+            for op in block.ops:
+                yield from blocks(op)

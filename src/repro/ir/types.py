@@ -1,0 +1,280 @@
+"""Builtin type attributes: integers, floats, index, tensors, memrefs, ...
+
+These mirror the MLIR builtin types that the stencil and HLS dialects rely
+on.  Types are attributes (see :class:`repro.ir.core.TypeAttribute`) so they
+can also appear inside attribute dictionaries.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.ir.core import Attribute, TypeAttribute, VerifyException
+
+
+# ---------------------------------------------------------------------------
+# Scalar types
+# ---------------------------------------------------------------------------
+
+
+class IntegerType(TypeAttribute):
+    """Arbitrary-width signless integer type (``i1``, ``i32``, ``i64`` ...)."""
+
+    name = "builtin.integer_type"
+
+    def __init__(self, width: int) -> None:
+        if width <= 0:
+            raise VerifyException(f"integer width must be positive, got {width}")
+        self.width = width
+
+    @property
+    def bitwidth(self) -> int:
+        return self.width
+
+    def __str__(self) -> str:
+        return f"i{self.width}"
+
+
+class IndexType(TypeAttribute):
+    """Platform-sized index type used for loop induction variables."""
+
+    name = "builtin.index_type"
+
+    @property
+    def bitwidth(self) -> int:
+        return 64
+
+    def __str__(self) -> str:
+        return "index"
+
+
+class FloatType(TypeAttribute):
+    """IEEE floating point type of a given width (16, 32 or 64 bits)."""
+
+    name = "builtin.float_type"
+
+    _VALID_WIDTHS = (16, 32, 64)
+
+    def __init__(self, width: int) -> None:
+        if width not in self._VALID_WIDTHS:
+            raise VerifyException(f"unsupported float width {width}")
+        self.width = width
+
+    @property
+    def bitwidth(self) -> int:
+        return self.width
+
+    def __str__(self) -> str:
+        return f"f{self.width}"
+
+
+# Canonical singletons used throughout the code base.
+i1 = IntegerType(1)
+i8 = IntegerType(8)
+i32 = IntegerType(32)
+i64 = IntegerType(64)
+f16 = FloatType(16)
+f32 = FloatType(32)
+f64 = FloatType(64)
+IndexTypeSingleton = IndexType()
+index = IndexTypeSingleton
+
+
+class NoneType(TypeAttribute):
+    name = "builtin.none_type"
+
+    def __str__(self) -> str:
+        return "none"
+
+
+none = NoneType()
+
+
+# ---------------------------------------------------------------------------
+# Shaped / aggregate types
+# ---------------------------------------------------------------------------
+
+DYNAMIC = -1
+
+
+class ShapedType(TypeAttribute):
+    """Base for types with a shape and an element type."""
+
+    def __init__(self, shape: Sequence[int], element_type: Attribute) -> None:
+        self.shape = tuple(int(s) for s in shape)
+        self.element_type = element_type
+        for dim in self.shape:
+            if dim < 0 and dim != DYNAMIC:
+                raise VerifyException(f"invalid dimension {dim}")
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def has_static_shape(self) -> bool:
+        return all(dim != DYNAMIC for dim in self.shape)
+
+    @property
+    def num_elements(self) -> int:
+        if not self.has_static_shape:
+            raise VerifyException("dynamic shape has no static element count")
+        total = 1
+        for dim in self.shape:
+            total *= dim
+        return total
+
+    def _shape_str(self) -> str:
+        return "x".join("?" if d == DYNAMIC else str(d) for d in self.shape)
+
+
+class TensorType(ShapedType):
+    name = "builtin.tensor_type"
+
+    def __str__(self) -> str:
+        shape = self._shape_str()
+        sep = "x" if shape else ""
+        return f"tensor<{shape}{sep}{self.element_type}>"
+
+
+class MemRefType(ShapedType):
+    """A reference to a (possibly dynamically shaped) memory buffer."""
+
+    name = "builtin.memref_type"
+
+    def __init__(
+        self,
+        shape: Sequence[int],
+        element_type: Attribute,
+        memory_space: str = "",
+    ) -> None:
+        super().__init__(shape, element_type)
+        self.memory_space = memory_space
+
+    def __str__(self) -> str:
+        shape = self._shape_str()
+        sep = "x" if shape else ""
+        space = f", {self.memory_space}" if self.memory_space else ""
+        return f"memref<{shape}{sep}{self.element_type}{space}>"
+
+
+class VectorType(ShapedType):
+    name = "builtin.vector_type"
+
+    def __str__(self) -> str:
+        shape = self._shape_str()
+        sep = "x" if shape else ""
+        return f"vector<{shape}{sep}{self.element_type}>"
+
+
+class FunctionType(TypeAttribute):
+    name = "builtin.function_type"
+
+    def __init__(self, inputs: Sequence[Attribute], outputs: Sequence[Attribute]) -> None:
+        self.inputs = tuple(inputs)
+        self.outputs = tuple(outputs)
+
+    def __str__(self) -> str:
+        ins = ", ".join(str(t) for t in self.inputs)
+        outs = ", ".join(str(t) for t in self.outputs)
+        return f"({ins}) -> ({outs})"
+
+
+# ---------------------------------------------------------------------------
+# LLVM-dialect style aggregate types (used by the HLS -> LLVM lowering)
+# ---------------------------------------------------------------------------
+
+
+class LLVMStructType(TypeAttribute):
+    """``!llvm.struct<(...)>`` — used to build legal Vitis HLS stream types."""
+
+    name = "llvm.struct_type"
+
+    def __init__(self, element_types: Sequence[Attribute]) -> None:
+        self.element_types = tuple(element_types)
+
+    def __str__(self) -> str:
+        inner = ", ".join(str(t) for t in self.element_types)
+        return f"!llvm.struct<({inner})>"
+
+
+class LLVMArrayType(TypeAttribute):
+    """``!llvm.array<N x T>`` — used for the 512-bit packed interface types."""
+
+    name = "llvm.array_type"
+
+    def __init__(self, count: int, element_type: Attribute) -> None:
+        if count <= 0:
+            raise VerifyException(f"array count must be positive, got {count}")
+        self.count = count
+        self.element_type = element_type
+
+    @property
+    def bitwidth(self) -> int:
+        return self.count * getattr(self.element_type, "bitwidth", 0)
+
+    def __str__(self) -> str:
+        return f"!llvm.array<{self.count} x {self.element_type}>"
+
+
+class LLVMPointerType(TypeAttribute):
+    """``!llvm.ptr<T>``."""
+
+    name = "llvm.ptr_type"
+
+    def __init__(self, pointee: Attribute | None = None) -> None:
+        self.pointee = pointee
+
+    def __str__(self) -> str:
+        if self.pointee is None:
+            return "!llvm.ptr"
+        return f"!llvm.ptr<{self.pointee}>"
+
+
+class LLVMVoidType(TypeAttribute):
+    name = "llvm.void_type"
+
+    def __str__(self) -> str:
+        return "!llvm.void"
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def bitwidth_of(type_: Attribute) -> int:
+    """Bit width of a scalar or packed type; raises for unsized types."""
+    if isinstance(type_, (IntegerType, FloatType)):
+        return type_.bitwidth
+    if isinstance(type_, IndexType):
+        return 64
+    if isinstance(type_, LLVMArrayType):
+        return type_.bitwidth
+    if isinstance(type_, LLVMStructType):
+        return sum(bitwidth_of(t) for t in type_.element_types)
+    if isinstance(type_, VectorType):
+        return type_.num_elements * bitwidth_of(type_.element_type)
+    raise VerifyException(f"type {type_} has no defined bit width")
+
+
+def packed_interface_type(element_type: Attribute, width_bits: int = 512) -> LLVMStructType:
+    """Build the 512-bit packed interface type of the paper (step 2, §3.3).
+
+    ``f64`` becomes ``!llvm.struct<(!llvm.array<8 x f64>)>`` and so on.
+    """
+    elem_width = bitwidth_of(element_type)
+    if width_bits % elem_width != 0:
+        raise VerifyException(
+            f"cannot pack {element_type} ({elem_width} bits) into {width_bits} bits"
+        )
+    lanes = width_bits // elem_width
+    return LLVMStructType([LLVMArrayType(lanes, element_type)])
+
+
+def is_float(type_: Attribute) -> bool:
+    return isinstance(type_, FloatType)
+
+
+def is_integer_like(type_: Attribute) -> bool:
+    return isinstance(type_, (IntegerType, IndexType))

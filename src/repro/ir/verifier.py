@@ -1,0 +1,101 @@
+"""Structural IR verification.
+
+Checks the invariants every well-formed module must satisfy:
+
+* parent/child links between operations, blocks and regions are consistent;
+* every operand is defined before use (dominance within a block, or is a
+  block argument of an enclosing region);
+* terminators appear only at the end of blocks;
+* per-operation ``verify_`` hooks pass.
+"""
+
+from __future__ import annotations
+
+from repro.ir.core import (
+    Block,
+    BlockArgument,
+    Operation,
+    OpResult,
+    Region,
+    SSAValue,
+    VerifyException,
+)
+
+
+def _enclosing_blocks(op: Operation) -> list[Block]:
+    """All blocks lexically enclosing ``op`` (innermost first)."""
+    blocks: list[Block] = []
+    current: Operation | None = op
+    while current is not None and current.parent is not None:
+        blocks.append(current.parent)
+        current = current.parent_op()
+    return blocks
+
+
+def _value_visible_from(value: SSAValue, op: Operation) -> bool:
+    """Whether ``value`` is visible (defined in an enclosing scope) at ``op``."""
+    enclosing = _enclosing_blocks(op)
+    if isinstance(value, BlockArgument):
+        return value.block in enclosing
+    if isinstance(value, OpResult):
+        defining = value.op
+        if defining.parent is None:
+            return False
+        if defining.parent not in enclosing:
+            return False
+        # Same block: the definition must come before the outermost ancestor
+        # of `op` that lives in that block (which may be `op` itself).
+        block = defining.parent
+        container: Operation = op
+        while container.parent is not block:
+            parent = container.parent_op()
+            if parent is None:
+                return False
+            container = parent
+        if defining is container:
+            return False
+        return block.index_of(defining) < block.index_of(container)
+    return False
+
+
+def verify_operation(op: Operation) -> None:
+    for i, result in enumerate(op.results):
+        if result.op is not op or result.index != i:
+            raise VerifyException(f"{op.name}: result {i} back-reference is broken")
+    for region in op.regions:
+        if region.parent is not op:
+            raise VerifyException(f"{op.name}: region parent link is broken")
+        verify_region(region)
+    for i, operand in enumerate(op.operands):
+        if op.parent is not None and not _value_visible_from(operand, op):
+            raise VerifyException(
+                f"{op.name}: operand {i} is not visible/dominated at its use"
+            )
+    op.verify_()
+
+
+def verify_block(block: Block) -> None:
+    for i, arg in enumerate(block.args):
+        if arg.block is not block or arg.index != i:
+            raise VerifyException("block argument back-reference is broken")
+    ops = block.ops
+    for i, op in enumerate(ops):
+        if op.parent is not block:
+            raise VerifyException(f"{op.name}: parent block link is broken")
+        if op.is_terminator and i != len(ops) - 1:
+            raise VerifyException(
+                f"{op.name}: terminator is not the last operation of its block"
+            )
+        verify_operation(op)
+
+
+def verify_region(region: Region) -> None:
+    for block in region.blocks:
+        if block.parent is not region:
+            raise VerifyException("block parent link is broken")
+        verify_block(block)
+
+
+def verify_module(module: Operation) -> None:
+    """Verify an operation tree rooted at ``module``; raises on failure."""
+    verify_operation(module)

@@ -1,0 +1,46 @@
+"""Benchmark kernels used in the paper's evaluation.
+
+* :mod:`repro.kernels.pw_advection` — the Piacsek and Williams advection
+  scheme (MONC): three stencil computations across three velocity fields,
+  with per-level profile arrays as small constant data.
+* :mod:`repro.kernels.tracer_advection` — the NEMO tracer advection kernel
+  from the PSyclone benchmark suite: 24 chained stencil computations across
+  the tracer/workspace fields, 17 memory arguments.
+* :mod:`repro.kernels.grids` — the paper's problem sizes and field
+  initialisation helpers.
+* :mod:`repro.kernels.reference` — independent numpy reference
+  implementations used by the correctness tests.
+"""
+
+from repro.kernels.grids import (
+    PW_ADVECTION_SIZES,
+    TRACER_ADVECTION_SIZES,
+    ProblemSize,
+    initial_fields,
+)
+from repro.kernels.pw_advection import (
+    PW_SCALARS,
+    build_pw_advection,
+    pw_advection_psyclone_kernel,
+)
+from repro.kernels.tracer_advection import (
+    TRACER_SCALARS,
+    build_tracer_advection,
+    tracer_advection_stencil_count,
+)
+from repro.kernels.reference import pw_advection_reference, tracer_advection_reference
+
+__all__ = [
+    "PW_ADVECTION_SIZES",
+    "PW_SCALARS",
+    "ProblemSize",
+    "TRACER_ADVECTION_SIZES",
+    "TRACER_SCALARS",
+    "build_pw_advection",
+    "build_tracer_advection",
+    "initial_fields",
+    "pw_advection_psyclone_kernel",
+    "pw_advection_reference",
+    "tracer_advection_reference",
+    "tracer_advection_stencil_count",
+]

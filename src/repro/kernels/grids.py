@@ -1,0 +1,85 @@
+"""Problem sizes and grid initialisation.
+
+The paper evaluates PW advection on 8M, 32M and 134M point domains and the
+tracer advection kernel on 8M and 33M points (§4 / artifact appendix).  The
+concrete (nx, ny, nz) decompositions below keep the vertical column and the
+inner plane fixed while growing the outer (streamed) dimension, which is how
+the shift-buffer footprint stays (roughly) constant across problem sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ProblemSize:
+    """One evaluated problem size."""
+
+    label: str
+    shape: tuple[int, int, int]
+
+    @property
+    def points(self) -> int:
+        nx, ny, nz = self.shape
+        return nx * ny * nz
+
+    @property
+    def megapoints(self) -> float:
+        return self.points / 1e6
+
+    def __str__(self) -> str:
+        return f"{self.label} ({self.shape[0]}x{self.shape[1]}x{self.shape[2]})"
+
+
+#: PW advection problem sizes (Figure 4, Figure 5, Table 1).
+PW_ADVECTION_SIZES: dict[str, ProblemSize] = {
+    "8M": ProblemSize("8M", (2048, 64, 64)),
+    "32M": ProblemSize("32M", (8192, 64, 64)),
+    "134M": ProblemSize("134M", (32768, 64, 64)),
+}
+
+#: Tracer advection problem sizes (Figure 4, Figure 6, Table 2).
+TRACER_ADVECTION_SIZES: dict[str, ProblemSize] = {
+    "8M": ProblemSize("8M", (2048, 64, 64)),
+    "33M": ProblemSize("33M", (8192, 64, 64)),
+}
+
+#: Small grid used by correctness tests and the functional simulator.
+TEST_SIZE = ProblemSize("test", (6, 5, 4))
+
+
+def initial_fields(
+    shape: tuple[int, int, int],
+    names: list[str],
+    seed: int = 2023,
+    smooth: bool = True,
+) -> dict[str, np.ndarray]:
+    """Deterministic, smooth-ish initial conditions for the given fields."""
+    rng = np.random.default_rng(seed)
+    fields: dict[str, np.ndarray] = {}
+    nx, ny, nz = shape
+    x = np.linspace(0.0, 1.0, nx).reshape(-1, 1, 1)
+    y = np.linspace(0.0, 1.0, ny).reshape(1, -1, 1)
+    z = np.linspace(0.0, 1.0, nz).reshape(1, 1, -1)
+    for index, name in enumerate(names):
+        if smooth:
+            base = (
+                np.sin(2 * np.pi * (x + 0.13 * index))
+                * np.cos(2 * np.pi * (y - 0.07 * index))
+                * (0.5 + 0.5 * z)
+            )
+            noise = 0.05 * rng.standard_normal((nx, ny, nz))
+            fields[name] = (base + noise).astype(np.float64)
+        else:
+            fields[name] = rng.standard_normal((nx, ny, nz)).astype(np.float64)
+    return fields
+
+
+def profile_array(length: int, name: str, seed: int = 7) -> np.ndarray:
+    """A smooth 1-D vertical profile (the "small data" of the kernels)."""
+    rng = np.random.default_rng(seed + len(name))
+    z = np.linspace(0.0, 1.0, length)
+    return (0.3 + 0.7 * np.exp(-3.0 * z) + 0.01 * rng.standard_normal(length)).astype(np.float64)

@@ -1,0 +1,74 @@
+"""The Piacsek and Williams (PW) advection scheme.
+
+This is the first evaluation kernel of the paper: the PW advection scheme of
+the Met Office MONC atmospheric model, expressed through the PSyclone-like
+Fortran frontend.  It contains three separate stencil computations (the
+``su``/``sv``/``sw`` source terms) executing across the three velocity
+fields ``u``/``v``/``w``, with per-level profile arrays (``tzc1``, ``tzc2``,
+``tzd1``, ``tzd2``) as the small constant data that Stencil-HMLS copies into
+BRAM, and the ``tcx``/``tcy`` grid-spacing scalars.
+
+Kernel argument ports: one per field (6) plus one shared port for the small
+data = 7 m_axi ports per compute unit, which is what limits the U280 to four
+compute units (§4).
+"""
+
+from __future__ import annotations
+
+from repro.dialects.builtin import ModuleOp
+from repro.frontends.builder import StencilKernelBuilder
+from repro.frontends.psyclone import PSycloneFrontend, PSycloneKernel
+from repro.kernels.grids import profile_array
+
+#: Scalar parameters of the kernel and their benchmark values.
+PW_SCALARS: dict[str, float] = {"tcx": 0.12, "tcy": 0.09}
+
+#: Field arguments (inputs then outputs).
+PW_INPUT_FIELDS = ["u", "v", "w"]
+PW_OUTPUT_FIELDS = ["su", "sv", "sw"]
+PW_SMALL_DATA = ["tzc1", "tzc2", "tzd1", "tzd2"]
+
+_PW_STATEMENTS = [
+    # d(su)/dt
+    "su(i,j,k) = tcx*(u(i-1,j,k)*(u(i-1,j,k)+u(i,j,k)) - u(i+1,j,k)*(u(i,j,k)+u(i+1,j,k)))"
+    " + tcy*(u(i,j-1,k)*(v(i,j-1,k)+v(i,j,k)) - u(i,j+1,k)*(v(i,j,k)+v(i,j+1,k)))"
+    " + tzc1(k)*u(i,j,k-1)*(w(i,j,k-1)+w(i,j,k)) - tzc2(k)*u(i,j,k+1)*(w(i,j,k)+w(i,j,k+1))",
+    # d(sv)/dt
+    "sv(i,j,k) = tcx*(v(i-1,j,k)*(u(i-1,j,k)+u(i,j,k)) - v(i+1,j,k)*(u(i,j,k)+u(i+1,j,k)))"
+    " + tcy*(v(i,j-1,k)*(v(i,j-1,k)+v(i,j,k)) - v(i,j+1,k)*(v(i,j,k)+v(i,j+1,k)))"
+    " + tzc1(k)*v(i,j,k-1)*(w(i,j,k-1)+w(i,j,k)) - tzc2(k)*v(i,j,k+1)*(w(i,j,k)+w(i,j,k+1))",
+    # d(sw)/dt
+    "sw(i,j,k) = tcx*(w(i-1,j,k)*(u(i-1,j,k)+u(i,j,k)) - w(i+1,j,k)*(u(i,j,k)+u(i+1,j,k)))"
+    " + tcy*(w(i,j-1,k)*(v(i,j-1,k)+v(i,j,k)) - w(i,j+1,k)*(v(i,j,k)+v(i,j+1,k)))"
+    " + tzd1(k)*w(i,j,k-1)*(w(i,j,k-1)+w(i,j,k)) - tzd2(k)*w(i,j,k+1)*(w(i,j,k)+w(i,j,k+1))",
+]
+
+
+def pw_advection_psyclone_kernel(shape: tuple[int, int, int]) -> PSycloneKernel:
+    """The PW advection kernel as a PSyclone-style kernel declaration."""
+    nz = shape[2]
+    kernel = PSycloneKernel(
+        name="pw_advection",
+        shape=shape,
+        field_args=PW_INPUT_FIELDS + PW_OUTPUT_FIELDS,
+        scalar_args=list(PW_SCALARS),
+        small_data_args={name: nz for name in PW_SMALL_DATA},
+        statements=list(_PW_STATEMENTS),
+    )
+    return kernel
+
+
+def pw_advection_builder(shape: tuple[int, int, int]) -> StencilKernelBuilder:
+    """The kernel lowered as far as the shared kernel builder."""
+    return PSycloneFrontend().builder_for(pw_advection_psyclone_kernel(shape))
+
+
+def build_pw_advection(shape: tuple[int, int, int]) -> ModuleOp:
+    """Stencil-dialect module for the PW advection kernel at a problem size."""
+    return pw_advection_builder(shape).build()
+
+
+def pw_advection_small_data(shape: tuple[int, int, int]) -> dict:
+    """Benchmark values of the per-level profile arrays."""
+    nz = shape[2]
+    return {name: profile_array(nz, name) for name in PW_SMALL_DATA}

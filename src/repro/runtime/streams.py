@@ -1,0 +1,82 @@
+"""HLS FIFO stream model.
+
+Functionally a stream is an unbounded FIFO (the dataflow stages are executed
+to completion one after another by the functional simulator, so capacity
+never limits correctness).  The declared depth is retained because the
+timing model and the f++ stream-depth intrinsic both need it, and because
+the cycle-level simulator optionally enforces it to detect deadlocks, which
+is how the StencilFlow baseline's behaviour on PW advection is reproduced.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Iterable
+
+
+class StreamClosedError(Exception):
+    """Raised when reading from a stream whose producer finished early."""
+
+
+class FIFOStream:
+    """A first-in first-out stream of elements."""
+
+    def __init__(self, name: str = "stream", depth: int = 16, element_bits: int = 64) -> None:
+        self.name = name
+        self.depth = depth
+        self.element_bits = element_bits
+        self._queue: deque[Any] = deque()
+        self._total_pushed = 0
+        self._total_popped = 0
+        self.high_water_mark = 0
+
+    # -- blocking interface (functional semantics) ------------------------------
+
+    def write(self, value: Any) -> None:
+        self._queue.append(value)
+        self._total_pushed += 1
+        self.high_water_mark = max(self.high_water_mark, len(self._queue))
+
+    def read(self) -> Any:
+        if not self._queue:
+            raise StreamClosedError(
+                f"stream '{self.name}': read from an empty stream "
+                "(producer under-produced or stage ordering is wrong)"
+            )
+        self._total_popped += 1
+        return self._queue.popleft()
+
+    # -- non-blocking queries -----------------------------------------------------
+
+    def empty(self) -> bool:
+        return not self._queue
+
+    def full(self) -> bool:
+        return len(self._queue) >= self.depth
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # -- statistics -----------------------------------------------------------------
+
+    @property
+    def total_pushed(self) -> int:
+        return self._total_pushed
+
+    @property
+    def total_popped(self) -> int:
+        return self._total_popped
+
+    def drain(self) -> list[Any]:
+        """Remove and return all remaining elements (used by write_data)."""
+        items = list(self._queue)
+        self._total_popped += len(items)
+        self._queue.clear()
+        return items
+
+    def extend(self, values: Iterable[Any]) -> None:
+        for value in values:
+            self.write(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<FIFOStream {self.name} depth={self.depth} queued={len(self._queue)}>"

@@ -1,0 +1,28 @@
+"""IR transformations.
+
+* ``stencil_analysis`` — classification of kernel arguments and stencil
+  structure shared by all lowerings (step 1 of §3.3 and more).
+* ``stencil_to_scf`` — the standard CPU lowering of the stencil dialect
+  (used directly by the Vitis HLS baseline and by correctness tests).
+* ``stencil_to_hls`` — the paper's nine-step automatic FPGA optimisation.
+* ``hls_to_llvm`` — lowering of the HLS dialect to annotated LLVM dialect IR.
+* ``hls_to_circt`` — structural hardware lowering stub (paper future work).
+* ``canonicalize`` / ``cse`` / ``dce`` — generic clean-up passes.
+"""
+
+from repro.transforms.canonicalize import CanonicalizePass
+from repro.transforms.cse import CSEPass
+from repro.transforms.dce import DCEPass
+from repro.transforms.stencil_to_scf import StencilToSCFPass
+from repro.transforms.stencil_to_hls import StencilToHLSPass, StencilToHLSOptions
+from repro.transforms.hls_to_llvm import HLSToLLVMPass
+
+__all__ = [
+    "CanonicalizePass",
+    "CSEPass",
+    "DCEPass",
+    "HLSToLLVMPass",
+    "StencilToHLSOptions",
+    "StencilToHLSPass",
+    "StencilToSCFPass",
+]

@@ -1,0 +1,75 @@
+"""Canonicalisation: constant folding and algebraic simplification."""
+
+from __future__ import annotations
+
+from repro.ir.core import Operation
+from repro.ir.passes import ModulePass
+from repro.ir.rewriter import PatternRewriter, RewritePattern, apply_patterns
+from repro.dialects import arith
+from repro.ir.attributes import IntAttr
+from repro.ir.types import FloatType, IndexType, IntegerType
+from repro.transforms.cse import CSEPass
+from repro.transforms.dce import DCEPass
+
+
+def _constant_value(value) -> float | int | None:
+    from repro.ir.core import OpResult
+
+    if isinstance(value, OpResult) and isinstance(value.op, arith.ConstantOp):
+        return value.op.value
+    return None
+
+
+class FoldBinaryConstants(RewritePattern):
+    """Fold binary arithmetic between two constants into a single constant."""
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        if not isinstance(op, arith.BINARY_OPS):
+            return
+        lhs = _constant_value(op.operands[0])
+        rhs = _constant_value(op.operands[1])
+        if lhs is None or rhs is None:
+            return
+        value = type(op).py_func(lhs, rhs)
+        result_type = op.result.type
+        if isinstance(result_type, FloatType):
+            new_op = arith.ConstantOp.from_float(float(value), result_type)
+        else:
+            new_op = arith.ConstantOp(IntAttr(int(value), result_type))
+        rewriter.replace_matched_op(new_op)
+
+
+class SimplifyIdentities(RewritePattern):
+    """x + 0, x * 1, x - 0, x / 1 → x; x * 0 → 0."""
+
+    def match_and_rewrite(self, op: Operation, rewriter: PatternRewriter) -> None:
+        if not isinstance(op, (arith.AddfOp, arith.SubfOp, arith.MulfOp, arith.DivfOp,
+                               arith.AddiOp, arith.SubiOp, arith.MuliOp)):
+            return
+        lhs, rhs = op.operands
+        rhs_const = _constant_value(rhs)
+        lhs_const = _constant_value(lhs)
+        is_add = isinstance(op, (arith.AddfOp, arith.AddiOp))
+        is_sub = isinstance(op, (arith.SubfOp, arith.SubiOp))
+        is_mul = isinstance(op, (arith.MulfOp, arith.MuliOp))
+        is_div = isinstance(op, arith.DivfOp)
+        if rhs_const == 0 and (is_add or is_sub):
+            rewriter.replace_matched_op([], [lhs])
+        elif lhs_const == 0 and is_add:
+            rewriter.replace_matched_op([], [rhs])
+        elif rhs_const == 1 and (is_mul or is_div):
+            rewriter.replace_matched_op([], [lhs])
+        elif lhs_const == 1 and is_mul:
+            rewriter.replace_matched_op([], [rhs])
+
+
+class CanonicalizePass(ModulePass):
+    """Constant folding + identity simplification + CSE + DCE."""
+
+    name = "canonicalize"
+
+    def apply(self, module: Operation) -> bool:
+        changed = apply_patterns(module, [FoldBinaryConstants(), SimplifyIdentities()])
+        changed |= CSEPass().apply(module)
+        changed |= DCEPass().apply(module)
+        return changed

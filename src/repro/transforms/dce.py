@@ -1,0 +1,35 @@
+"""Dead code elimination for pure operations."""
+
+from __future__ import annotations
+
+from repro.ir.core import Operation
+from repro.ir.passes import ModulePass
+
+
+class DCEPass(ModulePass):
+    """Remove pure operations whose results are never used.
+
+    Runs to fixpoint so chains of dead computations disappear in one
+    invocation of the pass.
+    """
+
+    name = "dce"
+
+    def apply(self, module: Operation) -> bool:
+        changed_any = False
+        while True:
+            dead = [
+                op
+                for op in module.walk()
+                if op is not module
+                and op.is_pure
+                and op.results
+                and all(res.num_uses == 0 for res in op.results)
+            ]
+            if not dead:
+                break
+            for op in dead:
+                if op.parent is not None:
+                    op.erase()
+            changed_any = True
+        return changed_any

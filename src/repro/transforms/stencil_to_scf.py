@@ -1,0 +1,227 @@
+"""Lowering of the stencil dialect to explicit ``scf`` loop nests.
+
+This is the standard CPU-style lowering that existed before this work
+(§3.3: "There is an existing transformation that lowers the stencil dialect
+into the standard MLIR dialects targeting CPU execution").  The Vitis HLS
+baseline consumes exactly this Von-Neumann-structured form, which is why its
+FPGA performance is poor; Stencil-HMLS replaces it with the dataflow
+structure produced by :mod:`repro.transforms.stencil_to_hls`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ir.core import Block, BlockArgument, Operation, OpResult, Region, SSAValue, VerifyException
+from repro.ir.passes import ModulePass
+from repro.dialects import arith, memref as memref_d, scf, stencil
+from repro.dialects.builtin import ModuleOp
+from repro.dialects.func import FuncOp
+from repro.ir.types import MemRefType, index
+
+
+@dataclass
+class _FieldSource:
+    """Where a stencil temp/field value lives: a memref plus its lower bounds."""
+
+    memref: SSAValue
+    lower: tuple[int, ...]
+
+
+class StencilToSCFPass(ModulePass):
+    """Lower every stencil kernel function of the module to scf loop nests."""
+
+    name = "convert-stencil-to-scf"
+
+    def __init__(self, use_parallel: bool = True) -> None:
+        #: Emit ``scf.parallel`` (CPU semantics) or sequential ``scf.for`` nests
+        #: (what the Vitis HLS baseline would synthesise).
+        self.use_parallel = use_parallel
+
+    def apply(self, module: ModuleOp) -> bool:
+        changed = False
+        for func in list(module.walk_type(FuncOp)):
+            if any(True for _ in func.walk_type(stencil.ApplyOp)):
+                self._lower_function(func)
+                changed = True
+        return changed
+
+    # -- per-function lowering ---------------------------------------------------
+
+    def _lower_function(self, func: FuncOp) -> None:
+        entry = func.entry_block
+        sources: dict[SSAValue, _FieldSource] = {}
+
+        # Field / temp values all resolve to (memref, lower-bound) pairs.
+        for op in list(func.walk()):
+            if isinstance(op, stencil.ExternalLoadOp):
+                field_type: stencil.FieldType = op.result.type
+                sources[op.result] = _FieldSource(op.source, tuple(lb for lb, _ in field_type.bounds))
+            elif isinstance(op, stencil.CastOp):
+                if op.field in sources:
+                    field_type = op.result.type
+                    sources[op.result] = _FieldSource(sources[op.field].memref,
+                                                      tuple(lb for lb, _ in field_type.bounds))
+            elif isinstance(op, stencil.LoadOp):
+                if op.field in sources:
+                    sources[op.result] = sources[op.field]
+
+        # Group stores by the apply producing the stored temp.
+        stores = list(func.walk_type(stencil.StoreOp))
+        stores_by_apply: dict[stencil.ApplyOp, list[stencil.StoreOp]] = {}
+        for store in stores:
+            temp = store.temp
+            if not (isinstance(temp, OpResult) and isinstance(temp.op, stencil.ApplyOp)):
+                raise VerifyException(
+                    "stencil-to-scf: stencil.store must consume a stencil.apply result"
+                )
+            stores_by_apply.setdefault(temp.op, []).append(store)
+
+        # Lower each apply (at the position of its first store) into a loop nest.
+        for apply_op in func.walk_type(stencil.ApplyOp):
+            apply_stores = stores_by_apply.get(apply_op, [])
+            if not apply_stores:
+                continue
+            anchor = apply_stores[0]
+            loop_ops = self._lower_apply(apply_op, apply_stores, sources)
+            block = anchor.parent
+            for new_op in loop_ops:
+                block.insert_op_before(new_op, anchor)
+
+        # Remove the now-redundant stencil operations (reverse order so uses
+        # disappear before definitions).
+        for op in reversed(list(func.walk())):
+            if isinstance(op, (stencil.StoreOp, stencil.ExternalStoreOp)):
+                op.erase()
+        for op in reversed(list(func.walk())):
+            if isinstance(op, (stencil.ApplyOp, stencil.LoadOp, stencil.CastOp, stencil.ExternalLoadOp)):
+                if all(res.num_uses == 0 for res in op.results):
+                    op.erase()
+
+    # -- apply lowering ------------------------------------------------------------
+
+    def _lower_apply(
+        self,
+        apply_op: stencil.ApplyOp,
+        stores: list[stencil.StoreOp],
+        sources: dict[SSAValue, _FieldSource],
+    ) -> list[Operation]:
+        lb = stores[0].lower_bound
+        ub = stores[0].upper_bound
+        rank = len(lb)
+        prologue: list[Operation] = []
+        lower_consts = [arith.ConstantOp.from_index(v) for v in lb]
+        upper_consts = [arith.ConstantOp.from_index(v) for v in ub]
+        one = arith.ConstantOp.from_index(1)
+        prologue.extend(lower_consts)
+        prologue.extend(upper_consts)
+        prologue.append(one)
+
+        if self.use_parallel:
+            loop = scf.ParallelOp(
+                [c.result for c in lower_consts],
+                [c.result for c in upper_consts],
+                [one.result] * rank,
+            )
+            body = loop.body
+            ivs = list(loop.induction_variables)
+            outer_ops: list[Operation] = prologue + [loop]
+        else:
+            # Sequential nest: for i { for j { for k { ... } } }
+            loops: list[scf.ForOp] = []
+            for d in range(rank):
+                loop_d = scf.ForOp(lower_consts[d].result, upper_consts[d].result, one.result)
+                if loops:
+                    loops[-1].body.add_op(loop_d)
+                loops.append(loop_d)
+            body = loops[-1].body
+            ivs = [l.induction_variable for l in loops]
+            outer_ops = prologue + [loops[0]]
+
+        self._emit_apply_body(apply_op, stores, sources, body, ivs)
+        # Terminate the innermost block, then any enclosing sequential loops.
+        body.add_op(scf.YieldOp())
+        if not self.use_parallel:
+            current = outer_ops[-1]
+            while isinstance(current, scf.ForOp):
+                if current.body.terminator is None:
+                    current.body.add_op(scf.YieldOp())
+                current = next(
+                    (o for o in current.body.ops if isinstance(o, scf.ForOp)), None
+                )
+        return outer_ops
+
+    def _emit_apply_body(
+        self,
+        apply_op: stencil.ApplyOp,
+        stores: list[stencil.StoreOp],
+        sources: dict[SSAValue, _FieldSource],
+        body: Block,
+        ivs: list[SSAValue],
+    ) -> None:
+        value_map: dict[SSAValue, SSAValue] = {}
+        # Non-field operands map straight through to the outer values.
+        for operand, block_arg in zip(apply_op.operands, apply_op.body.args):
+            if not isinstance(operand.type, (stencil.TempType, stencil.FieldType)):
+                value_map[block_arg] = operand
+
+        index_cache: dict[int, SSAValue] = {}
+
+        def shifted_index(dim: int, offset: int, lower: int) -> SSAValue:
+            delta = offset - lower
+            key = (dim, delta)
+            if key in index_cache:
+                return index_cache[key]
+            if delta == 0:
+                index_cache[key] = ivs[dim]
+                return ivs[dim]
+            const = arith.ConstantOp.from_index(delta)
+            body.add_op(const)
+            add = arith.AddiOp(ivs[dim], const.result)
+            body.add_op(add)
+            index_cache[key] = add.result
+            return add.result
+
+        for op in apply_op.body.ops:
+            if isinstance(op, stencil.AccessOp):
+                block_arg = op.temp
+                operand_index = list(apply_op.body.args).index(block_arg)
+                operand = apply_op.operands[operand_index]
+                source = sources.get(operand)
+                if source is None:
+                    raise VerifyException(
+                        "stencil-to-scf: chained stencil.apply operands must go "
+                        "through stencil.store/stencil.load"
+                    )
+                indices = [
+                    shifted_index(d, op.offset[d], source.lower[d])
+                    for d in range(len(op.offset))
+                ]
+                load = memref_d.LoadOp(source.memref, indices)
+                body.add_op(load)
+                value_map[op.result] = load.result
+            elif isinstance(op, stencil.IndexOp):
+                value_map[op.result] = ivs[op.dim]
+            elif isinstance(op, stencil.ReturnOp):
+                for result_index, returned in enumerate(op.operands):
+                    result_value = apply_op.results[result_index]
+                    for store in stores:
+                        if store.temp is not result_value:
+                            continue
+                        target = sources.get(store.field)
+                        if target is None:
+                            target_type = store.field.type
+                            lower = tuple(lb for lb, _ in target_type.bounds)
+                            target = _FieldSource(store.field, lower)
+                        indices = [
+                            shifted_index(d, 0, target.lower[d])
+                            for d in range(len(store.lower_bound))
+                        ]
+                        body.add_op(
+                            memref_d.StoreOp(value_map[returned], target.memref, indices)
+                        )
+            else:
+                cloned = op.clone(value_map)
+                body.add_op(cloned)
+                for old_res, new_res in zip(op.results, cloned.results):
+                    value_map[old_res] = new_res

@@ -1,0 +1,150 @@
+"""Tests for the comparator framework models (DaCe, SODA-opt, Vitis HLS, StencilFlow)."""
+
+import pytest
+
+from repro.baselines import (
+    ALL_FRAMEWORKS,
+    CompilationFailure,
+    DaCeFramework,
+    DeadlockError,
+    SODAOptFramework,
+    StencilFlowFramework,
+    StencilHMLSFramework,
+    UnsupportedKernelError,
+    VitisHLSFramework,
+)
+from repro.baselines.dace import DACE_II
+from repro.kernels.grids import PW_ADVECTION_SIZES, TRACER_ADVECTION_SIZES
+from repro.kernels.pw_advection import build_pw_advection
+from repro.kernels.tracer_advection import build_tracer_advection
+
+
+@pytest.fixture(scope="module")
+def pw_small():
+    return build_pw_advection((6, 5, 4))
+
+
+@pytest.fixture(scope="module")
+def tracer_small():
+    return build_tracer_advection((6, 5, 4))
+
+
+class TestStencilHMLSWrapper:
+    def test_compile_produces_artifact(self, pw_small):
+        artifact = StencilHMLSFramework().compile(pw_small)
+        assert artifact.framework == "Stencil-HMLS"
+        assert artifact.achieved_ii == 1
+        assert artifact.xclbin is not None
+        assert artifact.design.compute_units == 4
+
+    def test_execute_returns_timing(self, pw_small):
+        framework = StencilHMLSFramework()
+        artifact = framework.compile(pw_small)
+        timing = framework.execute(artifact)
+        assert timing.mpts > 0
+        power = artifact.estimate_power(timing)
+        assert power.energy_j == pytest.approx(power.average_power_w * timing.runtime_s)
+
+
+class TestDaCe:
+    def test_ii_and_single_cu(self, pw_small):
+        artifact = DaCeFramework().compile(pw_small)
+        assert artifact.achieved_ii == DACE_II == 9
+        assert artifact.design.compute_units == 1
+        # One sequential SDFG map per stencil computation.
+        assert len(artifact.design.stage_groups) == 3
+
+    def test_rejects_largest_pw_problem(self):
+        module = build_pw_advection(PW_ADVECTION_SIZES["134M"].shape)
+        with pytest.raises(CompilationFailure):
+            DaCeFramework().compile(module)
+
+    def test_accepts_32m_problem(self):
+        module = build_pw_advection(PW_ADVECTION_SIZES["32M"].shape)
+        artifact = DaCeFramework().compile(module)
+        assert artifact.design.framework == "DaCe"
+
+    def test_handles_tracer(self, tracer_small):
+        artifact = DaCeFramework().compile(tracer_small)
+        assert len(artifact.design.stage_groups) == 24
+
+    def test_slower_than_stencil_hmls(self, pw_small):
+        ours = StencilHMLSFramework().compile(pw_small).estimate_performance()
+        dace = DaCeFramework().compile(pw_small).estimate_performance()
+        assert ours.mpts > dace.mpts
+
+
+class TestVitisAndSODA:
+    def test_vitis_ii_reflects_external_memory_latency(self, tracer_small):
+        artifact = VitisHLSFramework().compile(tracer_small)
+        assert 140 <= artifact.achieved_ii <= 200       # paper: 163 on the critical path
+        assert artifact.design.compute_units == 1
+
+    def test_soda_comparable_to_vitis_on_tracer(self, tracer_small):
+        vitis = VitisHLSFramework().compile(tracer_small)
+        soda = SODAOptFramework().compile(tracer_small)
+        assert soda.achieved_ii >= vitis.achieved_ii
+        assert soda.achieved_ii - vitis.achieved_ii < 20
+
+    def test_soda_notes_mention_disabled_unrolling(self, pw_small):
+        artifact = SODAOptFramework().compile(pw_small)
+        notes = " ".join(artifact.notes)
+        assert "unrolling disabled" in notes
+        assert "malloc" in notes
+
+    def test_resources_flat_across_problem_sizes(self):
+        small = VitisHLSFramework().compile(build_pw_advection(PW_ADVECTION_SIZES["8M"].shape))
+        large = VitisHLSFramework().compile(build_pw_advection(PW_ADVECTION_SIZES["134M"].shape))
+        assert small.utilisation() == large.utilisation()
+
+    def test_soda_uses_fewer_resources_than_vitis(self, pw_small):
+        soda = SODAOptFramework().compile(pw_small)
+        vitis = VitisHLSFramework().compile(pw_small)
+        assert soda.design.resources.luts <= vitis.design.resources.luts
+        assert soda.design.resources.bram_36k <= vitis.design.resources.bram_36k
+
+    def test_both_slower_than_dace(self, tracer_small):
+        dace = DaCeFramework().compile(tracer_small).estimate_performance()
+        vitis = VitisHLSFramework().compile(tracer_small).estimate_performance()
+        soda = SODAOptFramework().compile(tracer_small).estimate_performance()
+        assert dace.mpts > vitis.mpts > 0
+        assert dace.mpts > soda.mpts > 0
+
+
+class TestStencilFlow:
+    def test_compiles_pw_but_deadlocks(self, pw_small):
+        framework = StencilFlowFramework()
+        artifact = framework.compile(pw_small)
+        assert artifact.achieved_ii == 1              # the paper notes it reaches II=1
+        with pytest.raises(DeadlockError):
+            framework.execute(artifact)
+
+    def test_cannot_express_tracer(self, tracer_small):
+        with pytest.raises(UnsupportedKernelError):
+            StencilFlowFramework().compile(tracer_small)
+
+    def test_inherits_single_bank_limit(self):
+        module = build_pw_advection(PW_ADVECTION_SIZES["134M"].shape)
+        with pytest.raises(CompilationFailure):
+            StencilFlowFramework().compile(module)
+
+    def test_resource_footprint_similar_to_ours(self, pw_small):
+        ours = StencilHMLSFramework().compile(pw_small)
+        stencilflow = StencilFlowFramework().compile(pw_small)
+        # Both build shift-buffer pipelines: same order of magnitude of BRAM,
+        # far more than the Von-Neumann flows.
+        vitis = VitisHLSFramework().compile(pw_small)
+        assert stencilflow.design.resources.bram_36k > vitis.design.resources.bram_36k
+
+
+class TestFrameworkRegistry:
+    def test_all_frameworks_listed(self):
+        names = {fw().name for fw in ALL_FRAMEWORKS}
+        assert names == {"Stencil-HMLS", "DaCe", "SODA-opt", "Vitis HLS", "StencilFlow"}
+
+    def test_capability_flags_match_paper(self):
+        assert StencilHMLSFramework.supports_cu_replication
+        assert not DaCeFramework.supports_cu_replication
+        assert not DaCeFramework.supports_multi_bank
+        assert not StencilFlowFramework.supports_multi_bank
+        assert VitisHLSFramework.supports_multi_bank

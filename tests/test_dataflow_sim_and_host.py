@@ -1,0 +1,188 @@
+"""Tests for the functional dataflow simulator, timing model, host and xclbin."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.fpga.dataflow_sim import FunctionalDataflowSimulator, TimingModel
+from repro.fpga.device import ALVEO_U280, VCK5000
+from repro.fpga.host import FPGAHost, HostError
+from repro.fpga.synthesis import KernelDesign, StageTiming
+from repro.interp.interpreter import InterpreterError
+from repro.kernels.grids import initial_fields
+from repro.kernels.pw_advection import (
+    PW_INPUT_FIELDS,
+    PW_OUTPUT_FIELDS,
+    PW_SCALARS,
+    pw_advection_small_data,
+)
+from repro.kernels.reference import pw_advection_reference, tracer_advection_reference
+from repro.kernels.tracer_advection import (
+    TRACER_INPUT_FIELDS,
+    TRACER_SCALARS,
+    TRACER_WORKSPACE_FIELDS,
+)
+
+
+class TestFunctionalSimulation:
+    def test_pw_matches_reference(self, pw_xclbin, pw_data, small_shape):
+        arrays, small, scalars = pw_data
+        reference = {k: v.copy() for k, v in arrays.items()}
+        pw_advection_reference(reference, small, scalars, small_shape)
+        sim_arrays = {k: v.copy() for k, v in arrays.items()}
+        sim_arrays.update({k: v.copy() for k, v in small.items()})
+        simulator = FunctionalDataflowSimulator(pw_xclbin.hls_module, pw_xclbin.plan)
+        outputs = simulator.run(sim_arrays, scalars)
+        assert set(outputs) == set(PW_OUTPUT_FIELDS)
+        for name in PW_OUTPUT_FIELDS:
+            assert np.allclose(sim_arrays[name], reference[name])
+
+    def test_tracer_matches_reference(self, tracer_xclbin, tracer_data, small_shape):
+        arrays, _, scalars = tracer_data
+        reference = {k: v.copy() for k, v in arrays.items()}
+        tracer_advection_reference(reference, {}, scalars, small_shape)
+        sim_arrays = {k: v.copy() for k, v in arrays.items()}
+        simulator = FunctionalDataflowSimulator(tracer_xclbin.hls_module, tracer_xclbin.plan)
+        simulator.run(sim_arrays, scalars)
+        for name in TRACER_WORKSPACE_FIELDS:
+            assert np.allclose(sim_arrays[name], reference[name])
+
+    def test_boundary_untouched(self, pw_xclbin, pw_data):
+        arrays, small, scalars = pw_data
+        sim_arrays = {k: v.copy() for k, v in arrays.items()}
+        sim_arrays.update(small)
+        FunctionalDataflowSimulator(pw_xclbin.hls_module, pw_xclbin.plan).run(sim_arrays, scalars)
+        for name in PW_OUTPUT_FIELDS:
+            assert np.array_equal(sim_arrays[name][0, :, :], arrays[name][0, :, :])
+            assert np.array_equal(sim_arrays[name][:, :, -1], arrays[name][:, :, -1])
+
+    def test_missing_argument_rejected(self, pw_xclbin):
+        simulator = FunctionalDataflowSimulator(pw_xclbin.hls_module, pw_xclbin.plan)
+        with pytest.raises(InterpreterError):
+            simulator.run({}, {})
+
+    def test_wrong_shape_rejected(self, pw_xclbin, pw_data):
+        arrays, small, scalars = pw_data
+        bad = {k: np.zeros((3, 3, 3)) for k in arrays}
+        bad.update(small)
+        simulator = FunctionalDataflowSimulator(pw_xclbin.hls_module, pw_xclbin.plan)
+        with pytest.raises(InterpreterError):
+            simulator.run(bad, scalars)
+
+    def test_missing_scalar_rejected(self, pw_xclbin, pw_data):
+        arrays, small, scalars = pw_data
+        sim_arrays = {k: v.copy() for k, v in arrays.items()}
+        sim_arrays.update(small)
+        simulator = FunctionalDataflowSimulator(pw_xclbin.hls_module, pw_xclbin.plan)
+        with pytest.raises(InterpreterError):
+            simulator.run(sim_arrays, {})
+
+
+class TestTimingModel:
+    def make_design(self, groups, cu=1, clock=300.0):
+        design = KernelDesign(
+            kernel_name="k", framework="test", device=ALVEO_U280,
+            clock_mhz=clock, compute_units=cu, ports_per_cu=1,
+        )
+        for group in groups:
+            design.add_group(group)
+        return design
+
+    def test_groups_sum_stages_overlap(self):
+        fast = StageTiming("fast", "compute", ii=1, depth=10, trip_count=100)
+        slow = StageTiming("slow", "compute", ii=1, depth=10, trip_count=1000)
+        design = self.make_design([[fast, slow]])
+        report = TimingModel().estimate(design, problem_points=1000)
+        assert report.cycles == slow.cycles            # concurrent stages overlap
+        two_groups = self.make_design([[fast], [slow]])
+        report2 = TimingModel().estimate(two_groups, problem_points=1000)
+        assert report2.cycles == fast.cycles + slow.cycles
+
+    def test_ii_scales_cycles(self):
+        base = self.make_design([[StageTiming("s", "compute", ii=1, depth=0, trip_count=1000)]])
+        slow = self.make_design([[StageTiming("s", "compute", ii=9, depth=0, trip_count=1000)]])
+        fast_report = TimingModel().estimate(base, 1000)
+        slow_report = TimingModel().estimate(slow, 1000)
+        assert slow_report.cycles == 9 * fast_report.cycles
+        assert slow_report.mpts < fast_report.mpts
+        assert slow_report.activity == pytest.approx(1 / 9)
+
+    def test_mpts_definition(self):
+        design = self.make_design([[StageTiming("s", "compute", ii=1, depth=0, trip_count=3_000_000)]])
+        report = TimingModel().estimate(design, problem_points=3_000_000)
+        assert report.runtime_s == pytest.approx(0.01)          # 3M cycles at 300 MHz
+        assert report.mpts == pytest.approx(300.0)
+
+    def test_paper_scale_pw_performance(self):
+        """At paper scale the model lands in the right ballpark: ~1.2 GPt/s."""
+        from repro.evaluation.harness import EvaluationHarness, BenchmarkCase
+        from repro.baselines import StencilHMLSFramework
+        from repro.kernels.grids import PW_ADVECTION_SIZES
+
+        harness = EvaluationHarness(repeats=1)
+        result = harness.run_case(StencilHMLSFramework, BenchmarkCase("pw_advection", PW_ADVECTION_SIZES["8M"]))
+        assert result.succeeded
+        assert 800 <= result.mpts <= 1300
+
+
+class TestHostAndXclbin:
+    def test_program_and_run_functional(self, pw_xclbin, pw_data, small_shape):
+        arrays, small, scalars = pw_data
+        reference = {k: v.copy() for k, v in arrays.items()}
+        pw_advection_reference(reference, small, scalars, small_shape)
+        host = FPGAHost()
+        host.program(pw_xclbin)
+        assert host.programmed_kernel == "pw_advection_hls"
+        sim_arrays = {k: v.copy() for k, v in arrays.items()}
+        sim_arrays.update(small)
+        result = host.run(sim_arrays, scalars, functional=True)
+        assert result.functional
+        for name in PW_OUTPUT_FIELDS:
+            assert np.allclose(result.outputs[name], reference[name])
+        assert result.mpts > 0 and result.energy_j > 0
+        assert result.average_power_w > ALVEO_U280.static_power_w
+
+    def test_run_without_program_rejected(self):
+        with pytest.raises(HostError):
+            FPGAHost().run()
+
+    def test_functional_requires_arrays(self, pw_xclbin):
+        host = FPGAHost()
+        host.program(pw_xclbin)
+        with pytest.raises(HostError):
+            host.run(functional=True)
+
+    def test_device_mismatch_rejected(self, pw_xclbin):
+        host = FPGAHost(VCK5000)
+        with pytest.raises(HostError):
+            host.program(pw_xclbin)
+
+    def test_estimate_only_run(self, pw_xclbin):
+        host = FPGAHost()
+        host.program(pw_xclbin)
+        result = host.run(problem_points=8_000_000)
+        assert not result.functional
+        assert result.outputs == {}
+        assert result.timing.points == 8_000_000
+        assert "mpts" in result.as_dict()
+
+    def test_buffer_creation(self):
+        host = FPGAHost()
+        buffer = host.create_buffer("u", np.ones((4, 4)))
+        assert buffer.nbytes == 4 * 4 * 8
+
+    def test_xclbin_summary_and_connectivity(self, pw_xclbin):
+        summary = pw_xclbin.summary()
+        assert summary["compute_units"] == 4
+        assert summary["achieved_ii"] == 1
+        connectivity = pw_xclbin.connectivity()
+        assert len(connectivity) == 4 * 7          # 4 CUs x 7 m_axi interfaces
+        assert all(value.startswith("HBM[") for value in connectivity.values())
+
+    def test_xclbin_metadata_roundtrip(self, pw_xclbin, tmp_path):
+        path = pw_xclbin.save_metadata(tmp_path / "meta.json")
+        payload = json.loads(path.read_text())
+        assert payload["kernel"] == "pw_advection_hls"
+        assert "connectivity" in payload
+        assert "utilisation_pct" in payload

@@ -1,0 +1,120 @@
+"""Tests for the paper's HLS dialect (Listings 2 and 3)."""
+
+import pytest
+
+from repro.dialects import arith, hls
+from repro.ir.core import VerifyException
+from repro.ir.types import f64, i1
+
+
+def make_stream(element=f64, depth=8):
+    return hls.CreateStreamOp(element, depth=depth)
+
+
+class TestAttributes:
+    def test_axi_protocol_names_and_codes(self):
+        attr = hls.AxiProtocolAttr("m_axi")
+        assert attr.code == 0
+        assert hls.AxiProtocolAttr(2).protocol == "s_axilite"
+        assert "m_axi" in str(attr)
+
+    def test_unknown_protocol_rejected(self):
+        with pytest.raises(VerifyException):
+            hls.AxiProtocolAttr("pcie")
+        with pytest.raises(VerifyException):
+            hls.AxiProtocolAttr(99)
+
+    def test_stream_type(self):
+        t = hls.StreamType(f64)
+        assert t.element_type == f64
+        assert str(t) == "!hls.stream<f64>"
+        assert hls.StreamType(f64) == hls.StreamType(f64)
+
+
+class TestStreamOps:
+    def test_create_stream(self):
+        stream = make_stream(depth=32)
+        assert isinstance(stream.result.type, hls.StreamType)
+        assert stream.element_type == f64
+        assert stream.depth == 32
+
+    def test_create_stream_depth_check(self):
+        with pytest.raises(VerifyException):
+            hls.CreateStreamOp(f64, depth=0)
+
+    def test_read_write(self):
+        stream = make_stream()
+        read = hls.ReadOp(stream.result)
+        assert read.result.type == f64
+        value = arith.ConstantOp.from_float(1.0)
+        write = hls.WriteOp(stream.result, value.result)
+        write.verify_()
+
+    def test_write_type_mismatch(self):
+        stream = make_stream()
+        bad = arith.ConstantOp.from_int(1)
+        write = hls.WriteOp(stream.result, bad.result)
+        with pytest.raises(VerifyException):
+            write.verify_()
+
+    def test_read_requires_stream(self):
+        value = arith.ConstantOp.from_float(1.0)
+        with pytest.raises(VerifyException):
+            hls.ReadOp(value.result)
+        with pytest.raises(VerifyException):
+            hls.WriteOp(value.result, value.result)
+
+    def test_empty_full(self):
+        stream = make_stream()
+        assert hls.EmptyOp(stream.result).result.type == i1
+        assert hls.FullOp(stream.result).result.type == i1
+        value = arith.ConstantOp.from_float(1.0)
+        with pytest.raises(VerifyException):
+            hls.EmptyOp(value.result)
+        with pytest.raises(VerifyException):
+            hls.FullOp(value.result)
+
+
+class TestDirectiveOps:
+    def test_pipeline(self):
+        assert hls.PipelineOp(1).ii == 1
+        assert hls.PipelineOp(4).ii == 4
+        with pytest.raises(VerifyException):
+            hls.PipelineOp(0)
+
+    def test_unroll(self):
+        assert hls.UnrollOp(0).factor == 0
+        assert hls.UnrollOp(8).factor == 8
+        with pytest.raises(VerifyException):
+            hls.UnrollOp(-1)
+
+    def test_array_partition(self):
+        op = hls.ArrayPartitionOp(kind="cyclic", factor=4, dim=1)
+        assert op.kind == "cyclic"
+
+    def test_interface(self):
+        value = arith.ConstantOp.from_float(1.0)
+        op = hls.InterfaceOp(value.result, "m_axi", "gmem_u")
+        assert op.protocol == "m_axi"
+        assert op.bundle == "gmem_u"
+        assert op.argument is value.result
+
+    def test_dataflow_region(self):
+        region = hls.DataflowOp(label="load_stage")
+        assert region.label == "load_stage"
+        assert len(region.body.ops) == 0
+        region.body.add_op(arith.ConstantOp.from_float(1.0))
+        assert len(region.body.ops) == 1
+        assert hls.DataflowOp().label == ""
+
+
+class TestDialectSurface:
+    def test_exactly_ten_operations(self):
+        # The paper describes ten operations (Listing 3).
+        assert len(hls.DIALECT_OPERATIONS) == 10
+        names = {op.name for op in hls.DIALECT_OPERATIONS}
+        assert names == {
+            "hls.interface", "hls.pipeline", "hls.unroll", "hls.array_partition",
+            "hls.dataflow", "hls.create_stream", "hls.read", "hls.write",
+            "hls.empty", "hls.full",
+        }

@@ -1,0 +1,150 @@
+"""Tests for the stencil dialect."""
+
+import pytest
+
+from repro.dialects import arith, memref as memref_d, stencil
+from repro.ir.core import VerifyException
+from repro.ir.types import DYNAMIC, MemRefType, f64
+
+
+def make_field(shape=(8, 8, 8)):
+    memref = memref_d.AllocOp(MemRefType(list(shape), f64))
+    field_type = stencil.FieldType([(0, s) for s in shape], f64)
+    ext = stencil.ExternalLoadOp(memref.result, field_type)
+    return memref, ext
+
+
+class TestStencilTypes:
+    def test_field_type(self):
+        t = stencil.FieldType([(0, 128)], f64)
+        assert t.rank == 1
+        assert t.shape == (128,)
+        assert t.num_elements == 128
+        assert str(t) == "!stencil.field<[0,128]xf64>"
+
+    def test_field_bounds_validation(self):
+        with pytest.raises(VerifyException):
+            stencil.FieldType([(5, 3)], f64)
+
+    def test_temp_type(self):
+        t = stencil.TempType([DYNAMIC, DYNAMIC], f64)
+        assert not t.has_static_shape
+        assert "?" in str(t)
+        assert stencil.TempType([4], f64).has_static_shape
+
+    def test_dynamic_temp_like(self):
+        field = stencil.FieldType([(0, 4), (0, 4)], f64)
+        temp = stencil.dynamic_temp_like(field)
+        assert temp.rank == 2 and not temp.has_static_shape
+
+    def test_result_type_str(self):
+        assert str(stencil.ResultType(f64)) == "!stencil.result<f64>"
+
+
+class TestStencilOps:
+    def test_external_load_and_load(self):
+        memref, ext = make_field()
+        load = stencil.LoadOp(ext.result)
+        assert isinstance(load.result.type, stencil.TempType)
+        assert load.field is ext.result
+
+    def test_load_requires_field(self):
+        memref = memref_d.AllocOp(MemRefType([4], f64))
+        with pytest.raises(VerifyException):
+            stencil.LoadOp(memref.result)
+
+    def test_store_bounds_validation(self):
+        memref, ext = make_field()
+        load = stencil.LoadOp(ext.result)
+        apply_op = stencil.ApplyOp([load.result], [stencil.TempType([-1] * 3, f64)])
+        store = stencil.StoreOp(apply_op.results[0], ext.result, (1, 1, 1), (7, 7, 7))
+        store.verify_()
+        with pytest.raises(VerifyException):
+            stencil.StoreOp(apply_op.results[0], ext.result, (1, 1), (7, 7, 7)).verify_()
+        with pytest.raises(VerifyException):
+            stencil.StoreOp(apply_op.results[0], ext.result, (5, 5, 5), (1, 1, 1)).verify_()
+
+    def test_apply_block_args_match_operands(self):
+        memref, ext = make_field()
+        load = stencil.LoadOp(ext.result)
+        apply_op = stencil.ApplyOp([load.result], [stencil.TempType([-1] * 3, f64)])
+        assert len(apply_op.block_args) == 1
+        assert apply_op.arg_for_operand(load.result) is apply_op.body.args[0]
+        assert apply_op.operand_for_arg(apply_op.body.args[0]) is load.result
+
+    def test_apply_verifies_return(self):
+        memref, ext = make_field()
+        load = stencil.LoadOp(ext.result)
+        apply_op = stencil.ApplyOp([load.result], [stencil.TempType([-1] * 3, f64)])
+        with pytest.raises(VerifyException):
+            apply_op.verify_()  # no stencil.return yet
+        access = stencil.AccessOp(apply_op.body.args[0], (0, 0, 0))
+        apply_op.body.add_ops([access, stencil.ReturnOp([access.result])])
+        apply_op.verify_()
+
+    def test_apply_return_arity(self):
+        memref, ext = make_field()
+        load = stencil.LoadOp(ext.result)
+        apply_op = stencil.ApplyOp([load.result], [stencil.TempType([-1] * 3, f64)] * 2)
+        access = stencil.AccessOp(apply_op.body.args[0], (0, 0, 0))
+        apply_op.body.add_ops([access, stencil.ReturnOp([access.result])])
+        with pytest.raises(VerifyException):
+            apply_op.verify_()
+
+    def test_access_offset_rank_check(self):
+        memref, ext = make_field()
+        load = stencil.LoadOp(ext.result)
+        apply_op = stencil.ApplyOp([load.result], [stencil.TempType([-1] * 3, f64)])
+        bad = stencil.AccessOp(apply_op.body.args[0], (1, 0))
+        with pytest.raises(VerifyException):
+            bad.verify_()
+
+    def test_access_requires_temp(self):
+        const = arith.ConstantOp.from_float(1.0)
+        with pytest.raises(VerifyException):
+            stencil.AccessOp(const.result, (0,))
+
+    def test_index_op(self):
+        op = stencil.IndexOp(2)
+        assert op.dim == 2
+
+    def test_cast_op(self):
+        memref, ext = make_field()
+        new_type = stencil.FieldType([(-1, 9)] * 3, f64)
+        cast = stencil.CastOp(ext.result, new_type)
+        assert cast.result.type.bounds[0] == (-1, 9)
+
+
+class TestStencilHelpers:
+    def _apply_with_offsets(self, offsets):
+        memref, ext = make_field()
+        load = stencil.LoadOp(ext.result)
+        apply_op = stencil.ApplyOp([load.result], [stencil.TempType([-1] * 3, f64)])
+        values = []
+        for off in offsets:
+            access = stencil.AccessOp(apply_op.body.args[0], off)
+            apply_op.body.add_op(access)
+            values.append(access.result)
+        total = values[0]
+        for value in values[1:]:
+            add = arith.AddfOp(total, value)
+            apply_op.body.add_op(add)
+            total = add.result
+        apply_op.body.add_op(stencil.ReturnOp([total]))
+        return apply_op
+
+    def test_access_extent(self):
+        apply_op = self._apply_with_offsets([(-1, 0, 0), (1, 0, 0), (0, 0, 2)])
+        extent = stencil.access_extent(apply_op)
+        assert extent == ((-1, 1), (0, 0), (0, 2))
+
+    def test_stencil_radius(self):
+        apply_op = self._apply_with_offsets([(-1, 0, 0), (0, 0, 2)])
+        assert stencil.stencil_radius(apply_op) == 2
+
+    def test_empty_apply_extent(self):
+        memref, ext = make_field()
+        load = stencil.LoadOp(ext.result)
+        apply_op = stencil.ApplyOp([load.result], [stencil.TempType([-1] * 3, f64)])
+        assert stencil.access_extent(apply_op) == ()
+        assert stencil.stencil_radius(apply_op) == 0

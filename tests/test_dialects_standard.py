@@ -1,0 +1,282 @@
+"""Tests for the arith/math/func/scf/memref/llvm dialects."""
+
+import math
+
+import pytest
+
+from repro.dialects import arith, llvm as llvm_d, math as math_d, memref as memref_d, scf
+from repro.dialects.builtin import ModuleOp, UnrealizedConversionCastOp
+from repro.dialects.func import CallOp, FuncOp, ReturnOp
+from repro.ir.core import Block, Region, VerifyException
+from repro.ir.types import (
+    FunctionType,
+    LLVMPointerType,
+    LLVMStructType,
+    MemRefType,
+    f32,
+    f64,
+    i1,
+    i32,
+    i64,
+    index,
+)
+
+
+def fconst(value: float):
+    return arith.ConstantOp.from_float(value)
+
+
+class TestArith:
+    def test_constants(self):
+        assert fconst(1.5).value == 1.5
+        assert arith.ConstantOp.from_int(3, i32).value == 3
+        assert arith.ConstantOp.from_index(4).result.type == index
+
+    def test_binary_type_checking(self):
+        a, b = fconst(1.0), arith.ConstantOp.from_int(1)
+        op = arith.AddfOp(a.result, a.result)
+        op.verify_()
+        bad = arith.AddfOp(a.result, a.result)
+        bad.replace_operand(1, b.result)
+        with pytest.raises(VerifyException):
+            bad.verify_()
+
+    def test_float_op_requires_float(self):
+        a = arith.ConstantOp.from_int(1)
+        op = arith.MulfOp(a.result, a.result)
+        with pytest.raises(VerifyException):
+            op.verify_()
+
+    def test_int_op_requires_int(self):
+        a = fconst(1.0)
+        op = arith.AddiOp(a.result, a.result)
+        with pytest.raises(VerifyException):
+            op.verify_()
+
+    def test_py_func_semantics(self):
+        assert arith.AddfOp.py_func(2.0, 3.0) == 5.0
+        assert arith.SubfOp.py_func(2.0, 3.0) == -1.0
+        assert arith.MulfOp.py_func(2.0, 3.0) == 6.0
+        assert arith.DivfOp.py_func(3.0, 2.0) == 1.5
+        assert arith.MaximumfOp.py_func(2.0, 3.0) == 3.0
+        assert arith.RemsiOp.py_func(7, 3) == 1
+
+    def test_cmpf_predicates(self):
+        a, b = fconst(1.0), fconst(2.0)
+        lt = arith.CmpfOp("olt", a.result, b.result)
+        assert lt.result.type == i1
+        assert lt.py_func(1.0, 2.0) is True
+        with pytest.raises(VerifyException):
+            arith.CmpfOp("bogus", a.result, b.result)
+
+    def test_cmpi_predicates(self):
+        a = arith.ConstantOp.from_int(1)
+        op = arith.CmpiOp("sle", a.result, a.result)
+        assert op.py_func(1, 1) is True
+        with pytest.raises(VerifyException):
+            arith.CmpiOp("??", a.result, a.result)
+
+    def test_select_type_check(self):
+        cond = arith.ConstantOp.from_int(1, i32)
+        a, b = fconst(1.0), fconst(2.0)
+        op = arith.SelectOp(cond.result, a.result, b.result)
+        op.verify_()
+        bad = arith.SelectOp(cond.result, a.result, arith.ConstantOp.from_int(1).result)
+        with pytest.raises(VerifyException):
+            bad.verify_()
+
+    def test_casts_have_result_types(self):
+        a = arith.ConstantOp.from_index(3)
+        assert arith.IndexCastOp(a.result, i64).result.type == i64
+        assert arith.SIToFPOp(a.result, f64).result.type == f64
+        b = fconst(1.0)
+        assert arith.FPToSIOp(b.result, i64).result.type == i64
+        assert arith.TruncFOp(b.result, f32).result.type == f32
+
+
+class TestMath:
+    def test_unary_ops(self):
+        a = fconst(4.0)
+        for cls, expected in [
+            (math_d.SqrtOp, 2.0),
+            (math_d.AbsFOp, 4.0),
+            (math_d.ExpOp, math.exp(4.0)),
+            (math_d.LogOp, math.log(4.0)),
+        ]:
+            op = cls(a.result)
+            assert op.result.type == f64
+            assert cls.py_func(4.0) == pytest.approx(expected)
+
+    def test_unary_requires_float(self):
+        a = arith.ConstantOp.from_int(4)
+        with pytest.raises(VerifyException):
+            math_d.SqrtOp(a.result).verify_()
+
+    def test_powf_and_fma(self):
+        a, b, c = fconst(2.0), fconst(3.0), fconst(1.0)
+        assert math_d.PowFOp(a.result, b.result).result.type == f64
+        assert math_d.FmaOp(a.result, b.result, c.result).result.type == f64
+
+
+class TestFunc:
+    def test_declaration_vs_definition(self):
+        decl = FuncOp.declaration("ext", [f64], [])
+        assert decl.is_declaration
+        defn = FuncOp.with_body("f", [f64], [])
+        defn.entry_block.add_op(ReturnOp([]))
+        assert not defn.is_declaration
+        assert defn.sym_name == "f"
+        assert len(defn.args) == 1
+
+    def test_function_type_mismatch_detected(self):
+        func = FuncOp.with_body("f", [f64], [])
+        func.entry_block.add_op(ReturnOp([]))
+        func.set_function_type(FunctionType([f64, f64], []))
+        with pytest.raises(VerifyException):
+            func.verify_()
+
+    def test_call_records_callee(self):
+        call = CallOp("load_data", [], [])
+        assert call.callee == "load_data"
+
+
+class TestSCF:
+    def make_bounds(self):
+        return (arith.ConstantOp.from_index(0), arith.ConstantOp.from_index(10),
+                arith.ConstantOp.from_index(1))
+
+    def test_for_structure(self):
+        lo, hi, st = self.make_bounds()
+        loop = scf.ForOp(lo.result, hi.result, st.result)
+        assert loop.induction_variable.type == index
+        loop.body.add_op(scf.YieldOp())
+        loop.verify_()
+
+    def test_for_with_iter_args(self):
+        lo, hi, st = self.make_bounds()
+        init = fconst(0.0)
+        loop = scf.ForOp(lo.result, hi.result, st.result, [init.result])
+        assert len(loop.results) == 1
+        add = arith.AddfOp(loop.body_iter_args[0], loop.body_iter_args[0])
+        loop.body.add_ops([add, scf.YieldOp([add.result])])
+        loop.verify_()
+
+    def test_for_yield_arity_checked(self):
+        lo, hi, st = self.make_bounds()
+        init = fconst(0.0)
+        loop = scf.ForOp(lo.result, hi.result, st.result, [init.result])
+        loop.body.add_op(scf.YieldOp())
+        with pytest.raises(VerifyException):
+            loop.verify_()
+
+    def test_for_requires_index_bounds(self):
+        bad = fconst(0.0)
+        hi = arith.ConstantOp.from_index(4)
+        loop = scf.ForOp(bad.result, hi.result, hi.result)
+        loop.body.add_op(scf.YieldOp())
+        with pytest.raises(VerifyException):
+            loop.verify_()
+
+    def test_if_blocks(self):
+        cond = arith.ConstantOp.from_int(1, i32)
+        branch = scf.IfOp(cond.result)
+        assert not branch.has_else
+        branch.else_block.add_op(fconst(0.0))
+        assert branch.has_else
+
+    def test_parallel_structure(self):
+        lo, hi, st = self.make_bounds()
+        par = scf.ParallelOp([lo.result], [hi.result], [st.result])
+        assert par.rank == 1
+        assert len(par.induction_variables) == 1
+        par.body.add_op(scf.YieldOp())
+        par.verify_()
+
+
+class TestMemref:
+    def test_alloc_load_store(self):
+        t = MemRefType([4, 4], f64)
+        alloc = memref_d.AllocOp(t)
+        idx = arith.ConstantOp.from_index(1)
+        load = memref_d.LoadOp(alloc.result, [idx.result, idx.result])
+        assert load.result.type == f64
+        store = memref_d.StoreOp(load.result, alloc.result, [idx.result, idx.result])
+        store.verify_()
+
+    def test_load_rank_check(self):
+        t = MemRefType([4, 4], f64)
+        alloc = memref_d.AllocOp(t)
+        idx = arith.ConstantOp.from_index(0)
+        bad = memref_d.LoadOp(alloc.result, [idx.result])
+        with pytest.raises(VerifyException):
+            bad.verify_()
+
+    def test_load_requires_memref(self):
+        a = fconst(1.0)
+        with pytest.raises(VerifyException):
+            memref_d.LoadOp(a.result, [])
+
+    def test_dim_copy_cast(self):
+        t = MemRefType([4], f64)
+        alloc = memref_d.AllocOp(t)
+        other = memref_d.AllocOp(t)
+        dim = memref_d.DimOp(alloc.result, arith.ConstantOp.from_index(0).result)
+        assert dim.result.type == index
+        copy = memref_d.CopyOp(alloc.result, other.result)
+        assert copy.source is alloc.result
+        cast = memref_d.CastOp(alloc.result, MemRefType([-1], f64))
+        assert not cast.result.type.has_static_shape
+
+    def test_global_ops(self):
+        g = memref_d.GlobalOp("weights", MemRefType([8], f64))
+        assert g.sym_name == "weights"
+        get = memref_d.GetGlobalOp("weights", MemRefType([8], f64))
+        assert get.result.type.shape == (8,)
+
+
+class TestLLVM:
+    def test_stream_legality_helpers(self):
+        struct = LLVMStructType([f64])
+        ptr = LLVMPointerType(struct)
+        assert llvm_d.is_legal_stream_type(ptr)
+        assert llvm_d.stream_element_type(ptr) == f64
+        assert not llvm_d.is_legal_stream_type(LLVMPointerType(f64))
+        with pytest.raises(VerifyException):
+            llvm_d.stream_element_type(LLVMPointerType(f64))
+
+    def test_alloca_gep(self):
+        one = llvm_d.ConstantOp(1, i32)
+        alloca = llvm_d.AllocaOp(one.result, LLVMStructType([f64]))
+        gep = llvm_d.GEPOp(alloca.result, [0, 0], f64)
+        assert gep.indices == (0, 0)
+        gep.verify_()
+        bad = llvm_d.GEPOp(alloca.result, [0], f64)
+        bad.replace_operand(0, one.result)
+        with pytest.raises(VerifyException):
+            bad.verify_()
+
+    def test_extract_insert_value(self):
+        undef = llvm_d.UndefOp(LLVMStructType([f64, f64]))
+        val = fconst(3.0)
+        ins = llvm_d.InsertValueOp(undef.result, val.result, [1])
+        assert ins.position == (1,)
+        ext = llvm_d.ExtractValueOp(ins.result, [1], f64)
+        assert ext.position == (1,)
+
+    def test_call_and_func(self):
+        decl = llvm_d.LLVMFuncOp("llvm.fpga.set.stream.depth", [LLVMPointerType(f64), i32])
+        assert decl.sym_name == "llvm.fpga.set.stream.depth"
+        call = llvm_d.CallOp("llvm.fpga.set.stream.depth", [])
+        assert call.callee == "llvm.fpga.set.stream.depth"
+
+
+class TestBuiltin:
+    def test_unrealized_cast(self):
+        a = fconst(1.0)
+        cast = UnrealizedConversionCastOp(a.result, i64)
+        assert cast.input is a.result
+        assert cast.result.type == i64
+
+    def test_module_add_op(self):
+        module = ModuleOp([FuncOp.declaration("x", [], [])])
+        assert module.get_symbol("x") is not None

@@ -1,0 +1,165 @@
+"""End-to-end tests: the full compilation flow, ablation options and the CLI."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main_bench, main_compile
+from repro.core.config import CompilerOptions
+from repro.core.pipeline import StencilHMLSCompiler
+from repro.fpga.dataflow_sim import TimingModel
+from repro.fpga.device import VCK5000
+from repro.fpga.host import FPGAHost
+from repro.frontends.builder import StencilKernelBuilder
+from repro.frontends.devito import DevitoFunction, DevitoGrid, DevitoOperator, Eq
+from repro.kernels.grids import initial_fields
+from repro.kernels.pw_advection import (
+    PW_INPUT_FIELDS,
+    PW_OUTPUT_FIELDS,
+    PW_SCALARS,
+    build_pw_advection,
+    pw_advection_small_data,
+)
+from repro.kernels.reference import pw_advection_reference
+
+
+class TestCompilerDriver:
+    def test_artifacts_exposed(self, pw_module):
+        compiler = StencilHMLSCompiler()
+        artifacts = compiler.compile_with_artifacts(pw_module)
+        assert artifacts.plan.kernel_name == "pw_advection_hls"
+        assert artifacts.fpp_report.total_directives > 0
+        assert artifacts.design.compute_units == 4
+        # The original stencil module is left untouched.
+        assert pw_module.get_symbol("pw_advection") is not None
+
+    def test_options_validation(self):
+        with pytest.raises(ValueError):
+            CompilerOptions(interface_width_bits=100).validate()
+        with pytest.raises(ValueError):
+            CompilerOptions(target_ii=0).validate()
+        with pytest.raises(ValueError):
+            StencilHMLSCompiler(CompilerOptions(stream_depth=0))
+
+    def test_empty_module_rejected(self):
+        from repro.dialects.builtin import ModuleOp
+
+        with pytest.raises(ValueError):
+            StencilHMLSCompiler().compile(ModuleOp())
+
+    def test_kernel_name_selection(self, pw_module):
+        compiler = StencilHMLSCompiler()
+        xclbin = compiler.compile(pw_module, kernel_name="pw_advection")
+        assert xclbin.kernel_name == "pw_advection_hls"
+        with pytest.raises(KeyError):
+            compiler.compile(pw_module, kernel_name="not_there")
+
+
+class TestCustomKernelEndToEnd:
+    def test_builder_kernel_through_full_flow(self, small_shape):
+        builder = StencilKernelBuilder("diffuse", small_shape)
+        u = builder.input_field("u")
+        out = builder.output_field("out")
+        nu = builder.scalar("nu")
+        builder.add_stencil(
+            out,
+            u[0, 0, 0]
+            + nu * (u[1, 0, 0] + u[-1, 0, 0] + u[0, 1, 0] + u[0, -1, 0]
+                    + u[0, 0, 1] + u[0, 0, -1] - 6.0 * u[0, 0, 0]),
+        )
+        module = builder.build()
+        xclbin = StencilHMLSCompiler().compile(module)
+        host = FPGAHost()
+        host.program(xclbin)
+        rng = np.random.default_rng(7)
+        arrays = {"u": rng.standard_normal(small_shape), "out": np.zeros(small_shape)}
+        result = host.run(arrays, {"nu": 0.1}, functional=True)
+        u_arr = arrays["u"]
+        interior = (slice(1, -1),) * 3
+        lap = (
+            u_arr[2:, 1:-1, 1:-1] + u_arr[:-2, 1:-1, 1:-1]
+            + u_arr[1:-1, 2:, 1:-1] + u_arr[1:-1, :-2, 1:-1]
+            + u_arr[1:-1, 1:-1, 2:] + u_arr[1:-1, 1:-1, :-2]
+            - 6.0 * u_arr[1:-1, 1:-1, 1:-1]
+        )
+        expected = u_arr[interior] + 0.1 * lap
+        assert np.allclose(result.outputs["out"][interior], expected)
+
+    def test_devito_kernel_through_full_flow(self, small_shape):
+        grid = DevitoGrid(small_shape)
+        u = DevitoFunction("u", grid)
+        w = DevitoFunction("w", grid)
+        module = DevitoOperator([Eq(w, 0.5 * (u[1, 0, 0] + u[-1, 0, 0]))], name="avg").build_module()
+        xclbin = StencilHMLSCompiler().compile(module)
+        assert xclbin.design.achieved_ii == 1
+        assert xclbin.plan.num_compute_stages == 1
+
+
+class TestAblations:
+    """The design-choice ablations listed in DESIGN.md (A1-A4)."""
+
+    def _timing(self, options, shape=(2048, 64, 64)):
+        module = build_pw_advection(shape)
+        xclbin = StencilHMLSCompiler(options).compile(module)
+        return xclbin, TimingModel().estimate(xclbin.design)
+
+    def test_a1_split_improves_concurrency(self):
+        split, t_split = self._timing(CompilerOptions(split_compute_per_field=True))
+        fused, t_fused = self._timing(CompilerOptions(split_compute_per_field=False))
+        # The split variant fans the window streams out to one pipeline per
+        # output field; the fused variant time-multiplexes one pipeline.
+        assert len(split.plan.streams) > len(fused.plan.streams)
+        assert split.design.achieved_ii < fused.design.achieved_ii
+        assert t_split.mpts > t_fused.mpts
+
+    def test_a2_packing_reduces_memory_pressure(self):
+        packed, t_packed = self._timing(CompilerOptions(pack_interfaces=True))
+        scalar, t_scalar = self._timing(CompilerOptions(pack_interfaces=False))
+        assert t_packed.mpts >= t_scalar.mpts
+        lanes_packed = max(i.packed_lanes for i in packed.plan.interfaces)
+        lanes_scalar = max(i.packed_lanes for i in scalar.plan.interfaces)
+        assert lanes_packed == 8 and lanes_scalar == 1
+
+    def test_a3_separate_bundles_beat_shared_port(self):
+        separate, t_separate = self._timing(CompilerOptions(separate_bundles=True))
+        shared, t_shared = self._timing(CompilerOptions(separate_bundles=False))
+        assert separate.design.ports_per_cu > shared.design.ports_per_cu
+        assert t_separate.mpts > t_shared.mpts
+
+    def test_a4_cu_replication_under_port_budget(self):
+        replicated, t_rep = self._timing(CompilerOptions(replicate_compute_units=True))
+        single, t_single = self._timing(CompilerOptions(replicate_compute_units=False))
+        assert replicated.design.compute_units == 4
+        assert single.design.compute_units == 1
+        assert t_rep.mpts > t_single.mpts
+
+    def test_a4_vck5000_removes_port_limit(self):
+        module = build_pw_advection((2048, 64, 64))
+        u280 = StencilHMLSCompiler().compile(module)
+        vck = StencilHMLSCompiler(device=VCK5000).compile(module)
+        assert vck.design.compute_units >= u280.design.compute_units
+
+
+class TestCLI:
+    def test_compile_command(self, capsys):
+        exit_code = main_compile(["pw_advection", "--size", "8M"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "compiled pw_advection" in out
+        assert "compute_units" in out
+
+    def test_compile_with_metadata_and_print(self, tmp_path, capsys):
+        meta = tmp_path / "meta.json"
+        exit_code = main_compile(["pw_advection", "--size", "8M", "--no-split", "--metadata", str(meta)])
+        assert exit_code == 0
+        assert meta.exists()
+
+    def test_compile_rejects_unknown_size(self):
+        with pytest.raises(SystemExit):
+            main_compile(["pw_advection", "--size", "1G"])
+
+    def test_bench_quick_figure(self, capsys):
+        exit_code = main_bench(["--quick", "--figure", "4", "--repeats", "1"])
+        assert exit_code == 0
+        out = capsys.readouterr().out
+        assert "Figure 4a" in out
+        assert "Stencil-HMLS" in out

@@ -1,0 +1,143 @@
+"""Tests for the evaluation harness, metrics, figures and tables."""
+
+import json
+
+import pytest
+
+from repro.baselines import DaCeFramework, StencilFlowFramework, StencilHMLSFramework, VitisHLSFramework
+from repro.evaluation.figures import (
+    figure4_performance,
+    figure5_pw_power_energy,
+    figure6_tracer_power_energy,
+)
+from repro.evaluation.harness import DEFAULT_CASES, BenchmarkCase, EvaluationHarness
+from repro.evaluation.metrics import FrameworkResult, energy_joules, energy_ratio, megapoints_per_second, speedup
+from repro.evaluation.report import format_figure, format_table, generate_all, results_to_json
+from repro.evaluation.tables import table1_pw_resources, table2_tracer_resources
+from repro.kernels.grids import PW_ADVECTION_SIZES, TRACER_ADVECTION_SIZES
+
+
+@pytest.fixture(scope="module")
+def quick_results():
+    harness = EvaluationHarness(repeats=1)
+    cases = [
+        BenchmarkCase("pw_advection", PW_ADVECTION_SIZES["8M"]),
+        BenchmarkCase("tracer_advection", TRACER_ADVECTION_SIZES["8M"]),
+    ]
+    return harness.run_all(cases=cases)
+
+
+class TestMetrics:
+    def test_mpts(self):
+        assert megapoints_per_second(8_000_000, 1.0) == 8.0
+        assert megapoints_per_second(8_000_000, 0.0) == 0.0
+
+    def test_energy(self):
+        assert energy_joules(40.0, 2.0) == 80.0
+
+    def test_speedup_and_energy_ratio(self):
+        fast = FrameworkResult("a", "k", "8M", 1, mpts=100.0, energy_j=1.0)
+        slow = FrameworkResult("b", "k", "8M", 1, mpts=10.0, energy_j=50.0)
+        assert speedup(fast, slow) == 10.0
+        assert energy_ratio(slow, fast) == 50.0
+        assert speedup(fast, FrameworkResult("c", "k", "8M", 1)) == float("inf")
+
+    def test_result_serialisation(self):
+        result = FrameworkResult("a", "k", "8M", 1, mpts=5.0, utilisation={"LUTs": 1.0})
+        payload = result.as_dict()
+        assert payload["framework"] == "a"
+        assert payload["utilisation"]["LUTs"] == 1.0
+        assert result.succeeded and result.compiled
+
+
+class TestHarness:
+    def test_default_cases_cover_paper(self):
+        labels = {(c.kernel, c.size.label) for c in DEFAULT_CASES}
+        assert ("pw_advection", "134M") in labels
+        assert ("tracer_advection", "33M") in labels
+        assert len(DEFAULT_CASES) == 5
+
+    def test_module_cache_reused(self):
+        harness = EvaluationHarness(repeats=1)
+        a = harness.build_module("pw_advection", (6, 5, 4))
+        b = harness.build_module("pw_advection", (6, 5, 4))
+        assert a is b
+        with pytest.raises(KeyError):
+            harness.build_module("unknown_kernel", (4, 4, 4))
+
+    def test_run_case_success(self):
+        harness = EvaluationHarness(repeats=2)
+        case = BenchmarkCase("pw_advection", PW_ADVECTION_SIZES["8M"])
+        result = harness.run_case(StencilHMLSFramework, case)
+        assert result.succeeded
+        assert result.compute_units == 4
+        assert result.achieved_ii == 1
+        assert result.mpts > 0 and result.energy_j > 0
+        assert set(result.utilisation) == {"LUTs", "FFs", "BRAM", "DSPs"}
+
+    def test_run_case_failures_recorded(self):
+        harness = EvaluationHarness(repeats=1)
+        dace_result = harness.run_case(
+            DaCeFramework, BenchmarkCase("pw_advection", PW_ADVECTION_SIZES["134M"])
+        )
+        assert dace_result.status == "compile_failed"
+        assert not dace_result.succeeded
+        sf_pw = harness.run_case(
+            StencilFlowFramework, BenchmarkCase("pw_advection", PW_ADVECTION_SIZES["8M"])
+        )
+        assert sf_pw.status == "deadlock"
+        assert sf_pw.compiled                      # resources still reported (Table 1)
+        sf_tracer = harness.run_case(
+            StencilFlowFramework, BenchmarkCase("tracer_advection", TRACER_ADVECTION_SIZES["8M"])
+        )
+        assert sf_tracer.status == "unsupported"
+
+    def test_cases_for_selection(self):
+        harness = EvaluationHarness()
+        cases = harness.cases_for("pw_advection", ["8M", "32M"])
+        assert [c.size.label for c in cases] == ["8M", "32M"]
+
+    def test_run_all_covers_framework_x_case(self, quick_results):
+        assert len(quick_results) == 2 * 5
+        frameworks = {r.framework for r in quick_results}
+        assert len(frameworks) == 5
+
+
+class TestFiguresAndTables:
+    def test_figure4_structure(self, quick_results):
+        fig = figure4_performance(quick_results)
+        assert set(fig) == {"pw_advection", "tracer_advection"}
+        assert fig["pw_advection"]["Stencil-HMLS"]["8M"] > 0
+        # StencilFlow never appears in the performance figure.
+        assert "StencilFlow" not in fig["pw_advection"]
+
+    def test_figure5_and_6_structure(self, quick_results):
+        fig5 = figure5_pw_power_energy(quick_results)
+        fig6 = figure6_tracer_power_energy(quick_results)
+        assert set(fig5) == {"power_w", "energy_j"}
+        assert fig5["energy_j"]["DaCe"]["8M"] > fig5["energy_j"]["Stencil-HMLS"]["8M"]
+        assert fig6["power_w"]["Stencil-HMLS"]["8M"] > 0
+
+    def test_table1_includes_stencilflow_but_table2_does_not(self, quick_results):
+        table1 = table1_pw_resources(quick_results)
+        table2 = table2_tracer_resources(quick_results)
+        assert any(row["framework"] == "StencilFlow" for row in table1)
+        assert not any(row["framework"] == "StencilFlow" for row in table2)
+        assert all(set(row) >= {"framework", "size", "LUTs", "FFs", "BRAM", "DSPs"} for row in table1)
+
+    def test_report_rendering(self, quick_results):
+        text = generate_all(quick_results)
+        assert "Figure 4a" in text and "Table 2" in text
+        assert "Stencil-HMLS" in text
+        fig = figure4_performance(quick_results)
+        rendered = format_figure(fig["pw_advection"], "test", "MPt/s")
+        assert "MPt/s" in rendered
+        table_text = format_table(table1_pw_resources(quick_results), "Table 1")
+        assert "%BRAM" in table_text
+
+    def test_results_json_roundtrip(self, quick_results, tmp_path):
+        path = tmp_path / "results.json"
+        results_to_json(quick_results, path)
+        payload = json.loads(path.read_text())
+        assert len(payload) == len(quick_results)
+        assert {"framework", "mpts", "energy_j"} <= set(payload[0])

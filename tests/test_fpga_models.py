@@ -1,0 +1,197 @@
+"""Tests for the FPGA substrate: device, AXI, HBM, resources, power, synthesis."""
+
+import pytest
+
+from repro.core.config import CompilerOptions
+from repro.core.plan import InterfaceSpec
+from repro.fpga import axi
+from repro.fpga.device import ALVEO_U280, VCK5000, device_by_name
+from repro.fpga.hbm import HBMAllocationError, HBMAllocator, streaming_time_seconds
+from repro.fpga.power_model import PowerModel
+from repro.fpga.resource_model import ResourceUsage, estimate_loop_kernel, estimate_stencil_hmls
+from repro.fpga.synthesis import SynthesisError, VitisHLSBackend
+from repro.ir.passes import PassManager
+from repro.kernels.pw_advection import build_pw_advection
+from repro.kernels.tracer_advection import build_tracer_advection
+from repro.transforms.stencil_to_hls import StencilToHLSPass
+
+
+def plan_for(module_builder, shape, options=None):
+    module = module_builder(shape)
+    pass_ = StencilToHLSPass(options or CompilerOptions())
+    PassManager([pass_]).run(module)
+    return next(iter(pass_.plans.values()))
+
+
+def m_axi(count):
+    return [InterfaceSpec(f"a{i}", f"gmem{i}", "m_axi", "in") for i in range(count)]
+
+
+class TestDevice:
+    def test_u280_budget(self):
+        assert ALVEO_U280.max_axi_ports == 32
+        assert ALVEO_U280.hbm.banks == 32
+        assert ALVEO_U280.hbm.capacity_bytes == 8 * 1024**3
+        assert ALVEO_U280.resources.dsps == 9024
+
+    def test_usable_excludes_shell(self):
+        assert ALVEO_U280.usable.luts < ALVEO_U280.resources.luts
+
+    def test_max_compute_units(self):
+        assert ALVEO_U280.max_compute_units(7) == 4          # the paper's PW advection case
+        assert ALVEO_U280.max_compute_units(17) == 1         # the tracer advection case
+        assert VCK5000.max_compute_units(17) == 64           # no port limit (future work)
+
+    def test_lookup_by_name(self):
+        assert device_by_name("alveo u280") is ALVEO_U280
+        with pytest.raises(KeyError):
+            device_by_name("versal?")
+
+
+class TestAXI:
+    def test_ports_count_distinct_bundles(self):
+        interfaces = m_axi(5) + [InterfaceSpec("s", "control", "s_axilite", "in")]
+        assert axi.ports_for_interfaces(interfaces) == 5
+
+    def test_allocation_respects_budget(self):
+        interfaces = m_axi(7)
+        allocation = axi.allocate_ports(interfaces, ALVEO_U280, 4)
+        assert allocation.total_ports == 28
+        with pytest.raises(axi.PortAllocationError):
+            axi.allocate_ports(interfaces, ALVEO_U280, 5)
+
+    def test_max_compute_units_capped(self):
+        interfaces = m_axi(7)
+        assert axi.max_compute_units(interfaces, ALVEO_U280) == 4
+        assert axi.max_compute_units(interfaces, ALVEO_U280, requested_max=2) == 2
+        assert axi.max_compute_units(m_axi(40), ALVEO_U280) == 1
+
+    def test_contention_factor(self):
+        interfaces = m_axi(6)
+        assert axi.contention_factor(interfaces, separate_bundles=True) == 1.0
+        assert axi.contention_factor(interfaces, separate_bundles=False) == 6.0
+        assert axi.contention_factor([], True) == 1.0
+
+
+class TestHBM:
+    def test_multi_bank_allocation(self):
+        allocator = HBMAllocator(ALVEO_U280, multi_bank=True)
+        assignment = allocator.allocate({"u": 10 * 2**20, "v": 10 * 2**20})
+        assert assignment.banks_used == 2
+
+    def test_capacity_exceeded(self):
+        allocator = HBMAllocator(ALVEO_U280, multi_bank=True)
+        with pytest.raises(HBMAllocationError):
+            allocator.allocate({"u": 9 * 1024**3})
+
+    def test_single_bank_per_buffer_limit(self):
+        allocator = HBMAllocator(ALVEO_U280, multi_bank=False)
+        bank = ALVEO_U280.hbm.capacity_bytes // 32
+        allocator.allocate({"u": bank})                     # exactly one bank: fine
+        with pytest.raises(HBMAllocationError):
+            allocator.allocate({"u": bank + 8})             # one byte over: rejected
+
+    def test_effective_bandwidth_and_streaming_time(self):
+        allocator = HBMAllocator(ALVEO_U280)
+        assert allocator.effective_bandwidth_gbs(2) == pytest.approx(2 * 14.375)
+        assert allocator.effective_bandwidth_gbs(999) == pytest.approx(32 * 14.375)
+        assert streaming_time_seconds(1_000_000_000, 4, ALVEO_U280) > 0
+
+
+class TestResourceModel:
+    def test_utilisation_and_fits(self):
+        usage = ResourceUsage(luts=130368, flip_flops=260736, bram_36k=202, dsps=90)
+        util = usage.utilisation(ALVEO_U280)
+        assert util["LUTs"] == pytest.approx(10.0)
+        assert util["FFs"] == pytest.approx(10.0)
+        assert usage.fits(ALVEO_U280)
+        assert not ResourceUsage(luts=2 * ALVEO_U280.resources.luts).fits(ALVEO_U280)
+
+    def test_scaled_and_add(self):
+        usage = ResourceUsage(luts=10, bram_36k=2)
+        assert usage.scaled(4).luts == 40
+        assert (usage + usage).bram_36k == 4
+
+    def test_stencil_hmls_estimate_scales_with_cus(self, small_shape):
+        plan = plan_for(build_pw_advection, small_shape)
+        one = estimate_stencil_hmls(plan, 1)
+        four = estimate_stencil_hmls(plan, 4)
+        assert four.luts == 4 * one.luts
+        assert one.bram_36k > 0 and one.dsps > 0
+
+    def test_loop_kernel_estimate_is_small(self, small_shape):
+        plan = plan_for(build_pw_advection, small_shape)
+        dataflow = estimate_stencil_hmls(plan, 1)
+        loops = estimate_loop_kernel(num_stages=3, flops_per_point=60, num_ports=7)
+        assert loops.bram_36k < dataflow.bram_36k
+        assert loops.luts < dataflow.luts
+
+
+class TestPowerModel:
+    def test_energy_is_power_times_runtime(self):
+        model = PowerModel(ALVEO_U280)
+        usage = ResourceUsage(luts=100_000, flip_flops=150_000, bram_36k=300, dsps=500)
+        report = model.estimate(usage, activity=1.0, sustained_bandwidth_gbs=50.0, runtime_s=2.0)
+        assert report.energy_j == pytest.approx(report.average_power_w * 2.0)
+        assert report.average_power_w > ALVEO_U280.static_power_w
+
+    def test_activity_scales_dynamic_power(self):
+        model = PowerModel(ALVEO_U280)
+        usage = ResourceUsage(luts=100_000, flip_flops=150_000, bram_36k=300, dsps=500)
+        busy = model.estimate(usage, activity=1.0, sustained_bandwidth_gbs=0.0, runtime_s=1.0)
+        idle = model.estimate(usage, activity=0.1, sustained_bandwidth_gbs=0.0, runtime_s=1.0)
+        assert busy.dynamic_power_w > idle.dynamic_power_w
+        assert idle.dynamic_power_w > 0.0
+
+    def test_bandwidth_adds_hbm_power(self):
+        model = PowerModel(ALVEO_U280)
+        usage = ResourceUsage(luts=10_000)
+        with_bw = model.estimate(usage, activity=1.0, sustained_bandwidth_gbs=100.0, runtime_s=1.0)
+        without = model.estimate(usage, activity=1.0, sustained_bandwidth_gbs=0.0, runtime_s=1.0)
+        assert with_bw.hbm_power_w > without.hbm_power_w
+
+
+class TestSynthesis:
+    def test_pw_design_matches_paper_configuration(self, pw_xclbin):
+        design = pw_xclbin.design
+        assert design.compute_units == 4
+        assert design.ports_per_cu == 7
+        assert design.total_ports == 28 <= ALVEO_U280.max_axi_ports
+        assert design.achieved_ii == 1
+        assert design.resources.fits(ALVEO_U280)
+        assert design.framework == "Stencil-HMLS"
+
+    def test_tracer_design_single_cu(self, tracer_xclbin):
+        design = tracer_xclbin.design
+        assert design.compute_units == 1
+        assert design.ports_per_cu == 17
+        assert design.achieved_ii == 1
+        assert len(design.stage_groups) == 12          # one group per dependency wave
+
+    def test_no_replication_option(self, small_shape):
+        plan = plan_for(build_pw_advection, small_shape,
+                        CompilerOptions(replicate_compute_units=False))
+        design = VitisHLSBackend().synthesise(plan)
+        assert design.compute_units == 1
+
+    def test_max_compute_units_option(self, small_shape):
+        plan = plan_for(build_pw_advection, small_shape, CompilerOptions(max_compute_units=2))
+        design = VitisHLSBackend(ALVEO_U280).synthesise(plan)
+        assert design.compute_units == 2
+
+    def test_higher_opt_level_degrades_ii(self, small_shape):
+        options = CompilerOptions(vitis_opt_level=2)
+        plan = plan_for(build_pw_advection, small_shape, options)
+        design = VitisHLSBackend().synthesise(plan, options=options)
+        assert design.achieved_ii > 1
+
+    def test_vck5000_profile_allows_more_cus_for_pw(self, small_shape):
+        plan = plan_for(build_pw_advection, small_shape)
+        u280 = VitisHLSBackend(ALVEO_U280).synthesise(plan)
+        vck = VitisHLSBackend(VCK5000).synthesise(plan)
+        assert vck.compute_units >= u280.compute_units
+
+    def test_utilisation_dict_keys(self, pw_xclbin):
+        util = pw_xclbin.design.utilisation()
+        assert set(util) == {"LUTs", "FFs", "BRAM", "DSPs"}
+        assert all(0 <= value < 100 for value in util.values())

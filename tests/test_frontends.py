@@ -1,0 +1,308 @@
+"""Tests for the expression AST, kernel builder, PSyclone and Devito frontends."""
+
+import numpy as np
+import pytest
+
+from repro.dialects import stencil
+from repro.dialects.func import FuncOp
+from repro.frontends.builder import FrontendError, StencilKernelBuilder
+from repro.frontends.devito import DevitoConstant, DevitoError, DevitoFunction, DevitoGrid, DevitoOperator, Eq
+from repro.frontends.expr import (
+    BinOp,
+    Constant,
+    FieldAccess,
+    GridIndex,
+    ScalarRef,
+    SmallDataAccess,
+    UnaryOp,
+    fabs,
+    fmax,
+    fmin,
+    sqrt,
+)
+from repro.frontends.psyclone import PSycloneFrontend, PSycloneKernel, PSycloneParseError, _tokenise
+from repro.interp import interpret_stencil_module
+from repro.ir.verifier import verify_module
+from repro.transforms.stencil_analysis import analyse_module
+
+
+class TestExpressionAST:
+    def test_operator_overloads(self):
+        a = FieldAccess("u", (0, 0, 0))
+        expr = (a + 1.0) * 2.0 - a / 3.0
+        assert isinstance(expr, BinOp)
+        assert expr.fields_read() == {"u"}
+        assert expr.count_flops() == 4
+
+    def test_reverse_operators_and_neg(self):
+        a = FieldAccess("u", (0,))
+        assert isinstance(1.0 + a, BinOp)
+        assert isinstance(2.0 * a, BinOp)
+        assert isinstance(1.0 - a, BinOp)
+        assert isinstance(1.0 / a, BinOp)
+        assert isinstance(-a, UnaryOp)
+
+    def test_queries(self):
+        expr = FieldAccess("u", (1, 0, 0)) * ScalarRef("dt") + SmallDataAccess("c", 2)
+        assert expr.scalars_read() == {"dt"}
+        assert expr.small_data_read() == {"c"}
+        assert expr.max_radius() == 1
+        assert len(expr.accesses()) == 1
+
+    def test_helpers(self):
+        assert fmax(1.0, 2.0).op == "max"
+        assert fmin(FieldAccess("u", (0,)), 0.0).op == "min"
+        assert fabs(-1.0).op == "abs"
+        assert sqrt(4.0).op == "sqrt"
+
+    def test_invalid_operators_rejected(self):
+        with pytest.raises(ValueError):
+            BinOp("%", Constant(1.0), Constant(2.0))
+        with pytest.raises(ValueError):
+            UnaryOp("sin?", Constant(1.0))
+        with pytest.raises(TypeError):
+            FieldAccess("u", (0,)) + "nope"  # type: ignore[operator]
+
+
+class TestKernelBuilder:
+    def build_laplacian(self, shape=(8, 8, 8)):
+        b = StencilKernelBuilder("laplacian", shape)
+        u = b.input_field("u")
+        out = b.output_field("out")
+        expr = (
+            u[1, 0, 0] + u[-1, 0, 0] + u[0, 1, 0] + u[0, -1, 0]
+            + u[0, 0, 1] + u[0, 0, -1] - 6.0 * u[0, 0, 0]
+        )
+        b.add_stencil(out, expr)
+        return b
+
+    def test_module_structure(self):
+        builder = self.build_laplacian()
+        module = builder.build()
+        verify_module(module)
+        func = module.get_symbol("laplacian")
+        assert isinstance(func, FuncOp)
+        assert len(list(module.walk_type(stencil.ApplyOp))) == 1
+        assert len(list(module.walk_type(stencil.StoreOp))) == 1
+
+    def test_laplacian_matches_numpy(self):
+        shape = (6, 6, 6)
+        module = self.build_laplacian(shape).build()
+        u = np.random.default_rng(0).standard_normal(shape)
+        out = np.zeros(shape)
+        interpret_stencil_module(module, "laplacian", {"u": u, "out": out})
+        expected = np.zeros(shape)
+        expected[1:-1, 1:-1, 1:-1] = (
+            u[2:, 1:-1, 1:-1] + u[:-2, 1:-1, 1:-1]
+            + u[1:-1, 2:, 1:-1] + u[1:-1, :-2, 1:-1]
+            + u[1:-1, 1:-1, 2:] + u[1:-1, 1:-1, :-2]
+            - 6.0 * u[1:-1, 1:-1, 1:-1]
+        )
+        assert np.allclose(out, expected)
+
+    def test_duplicate_declaration_rejected(self):
+        b = StencilKernelBuilder("k", (4, 4, 4))
+        b.field("u")
+        with pytest.raises(FrontendError):
+            b.field("u")
+        with pytest.raises(FrontendError):
+            b.scalar("u")
+
+    def test_undeclared_reads_rejected(self):
+        b = StencilKernelBuilder("k", (4, 4, 4))
+        out = b.output_field("out")
+        with pytest.raises(FrontendError):
+            b.add_stencil(out, FieldAccess("ghost", (0, 0, 0)))
+        with pytest.raises(FrontendError):
+            b.add_stencil(out, ScalarRef("dt"))
+        with pytest.raises(FrontendError):
+            b.add_stencil(out, SmallDataAccess("c", 2))
+
+    def test_build_requires_stencils(self):
+        b = StencilKernelBuilder("k", (4, 4, 4))
+        b.field("u")
+        with pytest.raises(FrontendError):
+            b.build()
+
+    def test_field_handle_rank_check(self):
+        b = StencilKernelBuilder("k", (4, 4, 4))
+        u = b.field("u")
+        with pytest.raises(FrontendError):
+            _ = u[0, 0]
+        assert u.centre.offset == (0, 0, 0)
+
+    def test_default_domain_uses_radius(self):
+        b = StencilKernelBuilder("k", (10, 10, 10))
+        u = b.input_field("u")
+        out = b.output_field("out")
+        b.add_stencil(out, u[2, 0, 0] + u[-2, 0, 0])
+        lower, upper = b.default_domain()
+        assert lower == (2, 2, 2)
+        assert upper == (8, 8, 8)
+
+    def test_writing_an_input_promotes_it_to_output(self):
+        b = StencilKernelBuilder("k", (6, 6, 6))
+        u = b.input_field("u")
+        w = b.input_field("w")
+        b.add_stencil(w, u[0, 0, 0] * 2.0)
+        module = b.build()
+        analysis = analyse_module(module)
+        kinds = {a.name: a.kind for a in analysis.arguments}
+        assert kinds["w"] == "field_output"
+        assert kinds["u"] == "field_input"
+
+    def test_grid_index_and_small_data(self):
+        shape = (5, 5, 6)
+        b = StencilKernelBuilder("k", shape)
+        u = b.input_field("u")
+        out = b.output_field("out")
+        prof = b.small_data("prof", shape[2])
+        b.add_stencil(out, u[0, 0, 0] * prof.here + GridIndex(2))
+        module = b.build()
+        verify_module(module)
+        rng = np.random.default_rng(1)
+        arrays = {"u": rng.standard_normal(shape), "out": np.zeros(shape),
+                  "prof": rng.standard_normal(shape[2])}
+        interpret_stencil_module(module, "k", arrays)
+        k_index = np.arange(shape[2]).reshape(1, 1, -1)
+        expected = arrays["u"] * arrays["prof"].reshape(1, 1, -1) + k_index
+        assert np.allclose(arrays["out"][1:-1, 1:-1, 1:-1], expected[1:-1, 1:-1, 1:-1])
+
+
+class TestPSycloneFrontend:
+    def test_tokeniser(self):
+        tokens = _tokenise("su(i,j,k) = 0.5d0*u(i-1,j,k)")
+        kinds = [t.kind for t in tokens]
+        assert "name" in kinds and "number" in kinds and "symbol" in kinds
+
+    def test_tokeniser_rejects_garbage(self):
+        with pytest.raises(PSycloneParseError):
+            _tokenise("a = b @ c")
+
+    def make_kernel(self, statements):
+        return PSycloneKernel(
+            name="k",
+            shape=(6, 6, 6),
+            field_args=["u", "v", "out"],
+            scalar_args=["dt"],
+            small_data_args={"prof": 6},
+            statements=statements,
+        )
+
+    def test_parse_simple_statement(self):
+        kernel = self.make_kernel(["out(i,j,k) = dt*(u(i+1,j,k) - u(i-1,j,k)) + prof(k)"])
+        target, expr = PSycloneFrontend().parse_statement(kernel.statements[0], kernel)
+        assert target == "out"
+        assert expr.fields_read() == {"u"}
+        assert expr.scalars_read() == {"dt"}
+        assert expr.small_data_read() == {"prof"}
+
+    def test_intrinsics(self):
+        kernel = self.make_kernel(["out(i,j,k) = max(abs(u(i,j,k)), sqrt(v(i,j,k)))"])
+        _, expr = PSycloneFrontend().parse_statement(kernel.statements[0], kernel)
+        assert isinstance(expr, BinOp) and expr.op == "max"
+
+    def test_fortran_double_literal(self):
+        kernel = self.make_kernel(["out(i,j,k) = 0.25d0 * u(i,j,k)"])
+        _, expr = PSycloneFrontend().parse_statement(kernel.statements[0], kernel)
+        assert expr.lhs.value == 0.25
+
+    def test_parse_errors(self):
+        frontend = PSycloneFrontend()
+        bad_statements = [
+            "out(i,j,k) = ghost(i,j,k)",           # undeclared array
+            "out(i,j,k) = u(i,j)",                  # wrong arity
+            "out(i+1,j,k) = u(i,j,k)",              # off-centre target
+            "out(i,j,k) = u(i,j,k) +",              # dangling operator
+            "out(i,j,k) = u(i,j,k)) ",              # unbalanced parens
+            "dt = u(i,j,k)",                        # scalar target
+            "out(i,j,k) = unknown",                 # undeclared symbol
+        ]
+        for statement in bad_statements:
+            kernel = self.make_kernel([statement])
+            with pytest.raises(PSycloneParseError):
+                frontend.parse_statement(statement, kernel)
+
+    def test_lower_builds_verified_module(self):
+        kernel = self.make_kernel(["out(i,j,k) = u(i,j,k) + v(i,j,k)*dt"])
+        module = PSycloneFrontend().lower(kernel)
+        verify_module(module)
+        assert module.get_symbol("k") is not None
+
+    def test_empty_kernel_rejected(self):
+        kernel = self.make_kernel([])
+        with pytest.raises(PSycloneParseError):
+            PSycloneFrontend().lower(kernel)
+
+    def test_psyclone_matches_builder_semantics(self):
+        """The same maths written in Fortran and via the builder must agree."""
+        shape = (6, 5, 4)
+        kernel = PSycloneKernel(
+            name="k", shape=shape, field_args=["u", "out"], scalar_args=["a"],
+            statements=["out(i,j,k) = a*u(i+1,j,k) - u(i,j,k-1)"],
+        )
+        module_f = PSycloneFrontend().lower(kernel)
+
+        b = StencilKernelBuilder("k", shape)
+        u = b.input_field("u")
+        out = b.output_field("out")
+        a = b.scalar("a")
+        b.add_stencil(out, a * u[1, 0, 0] - u[0, 0, -1])
+        module_b = b.build()
+
+        rng = np.random.default_rng(3)
+        data = rng.standard_normal(shape)
+        out_f, out_b = np.zeros(shape), np.zeros(shape)
+        interpret_stencil_module(module_f, "k", {"u": data.copy(), "out": out_f, "a": 1.5})
+        interpret_stencil_module(module_b, "k", {"u": data.copy(), "out": out_b, "a": 1.5})
+        assert np.allclose(out_f, out_b)
+
+
+class TestDevitoFrontend:
+    def test_operator_builds_module(self):
+        grid = DevitoGrid((6, 6, 6))
+        u = DevitoFunction("u", grid)
+        v = DevitoFunction("v", grid)
+        eq = Eq(v, 0.5 * (u[1, 0, 0] + u[-1, 0, 0]))
+        module = DevitoOperator([eq], name="smooth").build_module()
+        verify_module(module)
+        analysis = analyse_module(module)
+        assert {a.name for a in analysis.field_outputs} == {"v"}
+
+    def test_constants_become_scalars(self):
+        grid = DevitoGrid((6, 6, 6))
+        u = DevitoFunction("u", grid)
+        dt = DevitoConstant("dt")
+        module = DevitoOperator([Eq(u, u[0, 0, 0] * dt)]).build_module()
+        analysis = analyse_module(module)
+        assert [a.name for a in analysis.scalars] == ["dt"]
+
+    def test_offset_rank_checked(self):
+        grid = DevitoGrid((6, 6, 6))
+        u = DevitoFunction("u", grid)
+        with pytest.raises(DevitoError):
+            _ = u[1, 0]
+
+    def test_lhs_must_be_centre(self):
+        grid = DevitoGrid((6, 6, 6))
+        u = DevitoFunction("u", grid)
+        with pytest.raises(DevitoError):
+            Eq(u[1, 0, 0], u[0, 0, 0]).target_name
+
+    def test_empty_operator_rejected(self):
+        with pytest.raises(DevitoError):
+            DevitoOperator([])
+
+    def test_devito_matches_builder(self):
+        shape = (6, 5, 4)
+        grid = DevitoGrid(shape)
+        u = DevitoFunction("u", grid)
+        w = DevitoFunction("w", grid)
+        module_d = DevitoOperator([Eq(w, u[1, 0, 0] - 2.0 * u[0, 0, 0] + u[-1, 0, 0])],
+                                  name="d2").build_module()
+        rng = np.random.default_rng(5)
+        data = rng.standard_normal(shape)
+        out = np.zeros(shape)
+        interpret_stencil_module(module_d, "d2", {"u": data, "w": out})
+        expected = data[2:, 1:-1, 1:-1] - 2 * data[1:-1, 1:-1, 1:-1] + data[:-2, 1:-1, 1:-1]
+        assert np.allclose(out[1:-1, 1:-1, 1:-1], expected)

@@ -1,0 +1,256 @@
+"""Tests for the builder, printer, verifier, rewriter, pass manager, traversal."""
+
+import pytest
+
+from repro.dialects import arith, scf
+from repro.dialects.builtin import ModuleOp
+from repro.dialects.func import FuncOp, ReturnOp
+from repro.ir.builder import Builder, InsertPoint, build_region, clone_into
+from repro.ir.core import Block, Operation, Region, VerifyException
+from repro.ir.passes import FunctionPassAdapter, ModulePass, PassManager
+from repro.ir.printer import print_module
+from repro.ir.rewriter import GreedyRewriteDriver, PatternRewriter, RewritePattern, apply_patterns
+from repro.ir.traversal import (
+    backward_slice,
+    count_ops,
+    defining_op,
+    enclosing_op_of_type,
+    first_op_of_type,
+    loop_nest_depth,
+    ops_of_type,
+    users_transitive,
+)
+from repro.ir.types import f64, index
+from repro.ir.verifier import verify_module
+
+
+def simple_module():
+    module = ModuleOp()
+    func = FuncOp.with_body("f", [f64], [f64])
+    module.add_op(func)
+    arg = func.entry_block.args[0]
+    c = arith.ConstantOp.from_float(2.0)
+    mul = arith.MulfOp(arg, c.result)
+    func.entry_block.add_ops([c, mul, ReturnOp([mul.result])])
+    return module, func, c, mul
+
+
+class TestBuilder:
+    def test_insert_at_end_and_start(self):
+        block = Block()
+        builder = Builder.at_end(block)
+        a = builder.insert(arith.ConstantOp.from_float(1.0))
+        builder2 = Builder.at_start(block)
+        b = builder2.insert(arith.ConstantOp.from_float(0.0))
+        assert block.ops[0] is b and block.ops[1] is a
+
+    def test_insert_before_after_anchor(self):
+        block = Block()
+        anchor = arith.ConstantOp.from_float(5.0)
+        block.add_op(anchor)
+        Builder.before(anchor).insert(arith.ConstantOp.from_float(1.0))
+        Builder.after(anchor).insert(arith.ConstantOp.from_float(9.0))
+        values = [op.attributes["value"].value for op in block.ops]
+        assert values == [1.0, 5.0, 9.0]
+
+    def test_at_context_manager_restores(self):
+        block1, block2 = Block(), Block()
+        builder = Builder.at_end(block1)
+        with builder.at(block2):
+            builder.insert(arith.ConstantOp.from_float(1.0))
+        builder.insert(arith.ConstantOp.from_float(2.0))
+        assert len(block1.ops) == 1 and len(block2.ops) == 1
+
+    def test_build_region_helper(self):
+        region = build_region([f64], lambda b, args: b.insert(arith.NegfOp(args[0])))
+        assert len(region.block.ops) == 1
+
+    def test_clone_into(self):
+        a = arith.ConstantOp.from_float(1.0)
+        neg = arith.NegfOp(a.result)
+        target = Block()
+        cloned = clone_into(target, [a, neg])
+        assert len(target.ops) == 2
+        assert cloned[1].operands[0] is cloned[0].results[0]
+
+
+class TestPrinter:
+    def test_print_contains_ops_and_types(self, pw_module):
+        text = print_module(pw_module)
+        assert '"stencil.apply"' in text
+        assert '"func.func"' in text
+        assert "f64" in text
+
+    def test_print_is_deterministic(self, pw_module):
+        assert print_module(pw_module) == print_module(pw_module)
+
+    def test_name_hints_used(self):
+        module, func, c, mul = simple_module()
+        func.entry_block.args[0].name_hint = "x"
+        text = print_module(module)
+        assert "%x" in text
+
+    def test_attributes_printed(self):
+        module, *_ = simple_module()
+        text = print_module(module)
+        assert "sym_name" in text
+        assert "2.0 : f64" in text
+
+
+class TestVerifier:
+    def test_valid_module(self):
+        module, *_ = simple_module()
+        verify_module(module)
+
+    def test_terminator_must_be_last(self):
+        module, func, c, mul = simple_module()
+        func.entry_block.add_op(arith.ConstantOp.from_float(1.0))  # after func.return
+        with pytest.raises(VerifyException):
+            verify_module(module)
+
+    def test_use_before_def_detected(self):
+        module = ModuleOp()
+        func = FuncOp.with_body("f", [], [])
+        module.add_op(func)
+        a = arith.ConstantOp.from_float(1.0)
+        neg = arith.NegfOp(a.result)
+        # Insert the use before the definition.
+        func.entry_block.add_ops([neg, a, ReturnOp([])])
+        with pytest.raises(VerifyException):
+            verify_module(module)
+
+    def test_op_verify_hook_called(self):
+        module = ModuleOp()
+        func = FuncOp.with_body("f", [f64], [])
+        module.add_op(func)
+        a = arith.ConstantOp.from_float(1.0)
+        b = arith.ConstantOp.from_int(1)
+        bad = arith.AddfOp(a.result, a.result)
+        bad.replace_operand(1, b.result)  # type mismatch
+        func.entry_block.add_ops([a, b, bad, ReturnOp([])])
+        with pytest.raises(VerifyException):
+            verify_module(module)
+
+
+class _FoldNegNeg(RewritePattern):
+    op_type = arith.NegfOp
+
+    def match_and_rewrite(self, op, rewriter):
+        inner = defining_op(op.operands[0])
+        if isinstance(inner, arith.NegfOp):
+            rewriter.replace_matched_op([], [inner.operands[0]])
+
+
+class TestRewriter:
+    def test_pattern_applies_to_fixpoint(self):
+        module = ModuleOp()
+        func = FuncOp.with_body("f", [f64], [f64])
+        module.add_op(func)
+        x = func.entry_block.args[0]
+        n1 = arith.NegfOp(x)
+        n2 = arith.NegfOp(n1.result)
+        func.entry_block.add_ops([n1, n2, ReturnOp([n2.result])])
+        changed = apply_patterns(module, [_FoldNegNeg()])
+        assert changed
+        ret = func.entry_block.terminator
+        assert ret.operands[0] is x
+
+    def test_driver_reports_no_change(self):
+        module, *_ = simple_module()
+        assert GreedyRewriteDriver([_FoldNegNeg()]).rewrite_module(module) is False
+
+    def test_insert_before_and_erase(self):
+        module, func, c, mul = simple_module()
+        rewriter = PatternRewriter(mul)
+        new_const = arith.ConstantOp.from_float(3.0)
+        rewriter.insert_op_before(new_const, mul)
+        assert rewriter.has_changed
+        assert new_const.parent is func.entry_block
+
+    def test_replace_op_count_mismatch(self):
+        module, func, c, mul = simple_module()
+        rewriter = PatternRewriter(mul)
+        with pytest.raises(VerifyException):
+            rewriter.replace_op(mul, [], [])
+
+
+class _RenamePass(ModulePass):
+    name = "rename"
+
+    def apply(self, module):
+        for func in module.walk_type(FuncOp):
+            func.attributes["touched"] = arith.IntAttr(1)
+        return True
+
+
+class TestPassManager:
+    def test_runs_passes_and_records_stats(self):
+        module, *_ = simple_module()
+        pm = PassManager([_RenamePass()])
+        pm.run(module)
+        assert pm.statistics[0].name == "rename"
+        assert pm.statistics[0].changed
+
+    def test_verifies_between_passes(self):
+        class _BreakIR(ModulePass):
+            name = "break"
+
+            def apply(self, module):
+                func = next(iter(module.walk_type(FuncOp)))
+                func.entry_block.add_op(arith.ConstantOp.from_float(0.0))
+                return True
+
+        module, *_ = simple_module()
+        with pytest.raises(VerifyException) as err:
+            PassManager([_BreakIR()]).run(module)
+        assert "break" in str(err.value)
+
+    def test_function_pass_adapter(self):
+        module, *_ = simple_module()
+        seen = []
+        adapter = FunctionPassAdapter("collect", lambda f: seen.append(f.sym_name) or False)
+        PassManager([adapter]).run(module)
+        assert seen == ["f"]
+
+    def test_pipeline_description(self):
+        pm = PassManager([_RenamePass(), _RenamePass()])
+        assert pm.pipeline_description() == "rename,rename"
+
+
+class TestTraversal:
+    def test_ops_of_type_and_first(self, pw_module):
+        from repro.dialects import stencil
+
+        applies = ops_of_type(pw_module, stencil.ApplyOp)
+        assert len(applies) == 3
+        assert first_op_of_type(pw_module, stencil.ApplyOp) is applies[0]
+
+    def test_backward_slice(self):
+        module, func, c, mul = simple_module()
+        ops = backward_slice(mul.result)
+        assert c in ops and mul in ops
+        assert ops.index(c) < ops.index(mul)
+
+    def test_users_transitive(self):
+        module, func, c, mul = simple_module()
+        users = users_transitive(c.result)
+        assert mul in users
+        assert func.entry_block.terminator in users
+
+    def test_count_ops(self, pw_module):
+        assert count_ops(pw_module) == sum(1 for _ in pw_module.walk())
+        assert count_ops(pw_module, lambda op: op.name == "func.func") == 1
+
+    def test_loop_nest_depth_and_enclosing(self):
+        module = ModuleOp()
+        func = FuncOp.with_body("f", [], [])
+        module.add_op(func)
+        zero = arith.ConstantOp.from_index(0)
+        ten = arith.ConstantOp.from_index(10)
+        one = arith.ConstantOp.from_index(1)
+        loop = scf.ForOp(zero.result, ten.result, one.result)
+        inner = arith.ConstantOp.from_float(1.0)
+        loop.body.add_ops([inner, scf.YieldOp()])
+        func.entry_block.add_ops([zero, ten, one, loop, ReturnOp([])])
+        assert loop_nest_depth(inner, (scf.ForOp,)) == 1
+        assert enclosing_op_of_type(inner, FuncOp) is func

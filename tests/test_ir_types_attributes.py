@@ -1,0 +1,166 @@
+"""Unit tests for the type system and builtin attributes."""
+
+import pytest
+
+from repro.ir.attributes import (
+    ArrayAttr,
+    BoolAttr,
+    DenseIntArrayAttr,
+    DictionaryAttr,
+    FloatAttr,
+    IntAttr,
+    StringAttr,
+    SymbolRefAttr,
+    TypeAttr,
+    py_value,
+)
+from repro.ir.core import VerifyException
+from repro.ir.types import (
+    DYNAMIC,
+    FloatType,
+    FunctionType,
+    IndexType,
+    IntegerType,
+    LLVMArrayType,
+    LLVMPointerType,
+    LLVMStructType,
+    MemRefType,
+    TensorType,
+    VectorType,
+    bitwidth_of,
+    f32,
+    f64,
+    i1,
+    i32,
+    i64,
+    index,
+    packed_interface_type,
+)
+
+
+class TestScalarTypes:
+    def test_equality_is_structural(self):
+        assert IntegerType(32) == i32
+        assert IntegerType(32) != IntegerType(64)
+        assert FloatType(64) == f64
+        assert IndexType() == index
+
+    def test_hashable(self):
+        assert len({IntegerType(32), i32, i64}) == 2
+
+    def test_str(self):
+        assert str(i1) == "i1"
+        assert str(f32) == "f32"
+        assert str(index) == "index"
+
+    def test_invalid_widths(self):
+        with pytest.raises(VerifyException):
+            IntegerType(0)
+        with pytest.raises(VerifyException):
+            FloatType(80)
+
+    def test_bitwidths(self):
+        assert bitwidth_of(f64) == 64
+        assert bitwidth_of(i32) == 32
+        assert bitwidth_of(index) == 64
+
+
+class TestShapedTypes:
+    def test_memref_shape(self):
+        t = MemRefType([4, 5, 6], f64)
+        assert t.rank == 3
+        assert t.num_elements == 120
+        assert t.has_static_shape
+        assert str(t) == "memref<4x5x6xf64>"
+
+    def test_dynamic_memref(self):
+        t = MemRefType([DYNAMIC, 4], f64)
+        assert not t.has_static_shape
+        with pytest.raises(VerifyException):
+            _ = t.num_elements
+        assert "?" in str(t)
+
+    def test_invalid_dim(self):
+        with pytest.raises(VerifyException):
+            MemRefType([-5], f64)
+
+    def test_tensor_and_vector_strings(self):
+        assert str(TensorType([2, 2], f32)) == "tensor<2x2xf32>"
+        assert str(VectorType([8], f64)) == "vector<8xf64>"
+
+    def test_function_type(self):
+        t = FunctionType([f64, i32], [f64])
+        assert "f64" in str(t)
+        assert t.inputs == (f64, i32)
+
+
+class TestLLVMTypes:
+    def test_packed_interface_type(self):
+        packed = packed_interface_type(f64, 512)
+        assert isinstance(packed, LLVMStructType)
+        inner = packed.element_types[0]
+        assert isinstance(inner, LLVMArrayType)
+        assert inner.count == 8
+        assert bitwidth_of(packed) == 512
+
+    def test_packed_interface_type_f32(self):
+        packed = packed_interface_type(f32, 512)
+        assert packed.element_types[0].count == 16
+
+    def test_packing_must_divide(self):
+        with pytest.raises(VerifyException):
+            packed_interface_type(FloatType(64), 100)
+
+    def test_pointer_str(self):
+        assert str(LLVMPointerType(f64)) == "!llvm.ptr<f64>"
+        assert str(LLVMPointerType()) == "!llvm.ptr"
+
+    def test_array_requires_positive_count(self):
+        with pytest.raises(VerifyException):
+            LLVMArrayType(0, f64)
+
+
+class TestAttributes:
+    def test_int_attr(self):
+        attr = IntAttr(7, i32)
+        assert attr.value == 7
+        assert py_value(attr) == 7
+        with pytest.raises(VerifyException):
+            IntAttr(1.5, i32)  # type: ignore[arg-type]
+        with pytest.raises(VerifyException):
+            IntAttr(1, f64)
+
+    def test_float_attr(self):
+        attr = FloatAttr(2.5)
+        assert attr.value == 2.5
+        with pytest.raises(VerifyException):
+            FloatAttr(1.0, i32)
+
+    def test_string_and_symbol(self):
+        assert StringAttr("hi").data == "hi"
+        assert py_value(SymbolRefAttr("f")) == "f"
+        with pytest.raises(VerifyException):
+            StringAttr(3)  # type: ignore[arg-type]
+
+    def test_dense_int_array(self):
+        attr = DenseIntArrayAttr([-1, 0, 1])
+        assert attr.as_tuple() == (-1, 0, 1)
+        assert list(attr) == [-1, 0, 1]
+        assert attr[2] == 1
+        assert len(attr) == 3
+
+    def test_array_and_dict(self):
+        arr = ArrayAttr([IntAttr(1), IntAttr(2)])
+        assert len(arr) == 2
+        d = DictionaryAttr({"a": IntAttr(1)})
+        assert "a" in d
+        assert py_value(d) == {"a": 1}
+
+    def test_bool_and_type_attr(self):
+        assert BoolAttr(True).value is True
+        assert py_value(TypeAttr(f64)) == f64
+
+    def test_equality_and_hash(self):
+        assert IntAttr(3) == IntAttr(3)
+        assert IntAttr(3) != IntAttr(4)
+        assert hash(DenseIntArrayAttr([1, 2])) == hash(DenseIntArrayAttr([1, 2]))

@@ -1,0 +1,155 @@
+"""Tests for the benchmark kernels, problem sizes and numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.interp import interpret_stencil_module
+from repro.kernels.grids import (
+    PW_ADVECTION_SIZES,
+    TRACER_ADVECTION_SIZES,
+    ProblemSize,
+    initial_fields,
+    profile_array,
+)
+from repro.kernels.pw_advection import (
+    PW_INPUT_FIELDS,
+    PW_OUTPUT_FIELDS,
+    PW_SCALARS,
+    PW_SMALL_DATA,
+    build_pw_advection,
+    pw_advection_psyclone_kernel,
+    pw_advection_small_data,
+)
+from repro.kernels.reference import (
+    evaluate_expression,
+    pw_advection_reference,
+    tracer_advection_reference,
+)
+from repro.kernels.tracer_advection import (
+    TRACER_INPUT_FIELDS,
+    TRACER_ROUNDS,
+    TRACER_SCALARS,
+    TRACER_WORKSPACE_FIELDS,
+    build_tracer_advection,
+    round_coefficient,
+    tracer_advection_stencil_count,
+)
+from repro.frontends.expr import Constant, FieldAccess
+from repro.ir.verifier import verify_module
+from repro.transforms.stencil_analysis import analyse_module
+
+
+class TestProblemSizes:
+    def test_pw_sizes_match_paper_labels(self):
+        assert set(PW_ADVECTION_SIZES) == {"8M", "32M", "134M"}
+        assert PW_ADVECTION_SIZES["8M"].points == pytest.approx(8.4e6, rel=0.05)
+        assert PW_ADVECTION_SIZES["32M"].points == pytest.approx(33.5e6, rel=0.05)
+        assert PW_ADVECTION_SIZES["134M"].points == pytest.approx(134e6, rel=0.05)
+
+    def test_tracer_sizes(self):
+        assert set(TRACER_ADVECTION_SIZES) == {"8M", "33M"}
+        assert TRACER_ADVECTION_SIZES["33M"].points == pytest.approx(33.5e6, rel=0.05)
+
+    def test_problem_size_helpers(self):
+        size = ProblemSize("x", (10, 10, 10))
+        assert size.points == 1000
+        assert size.megapoints == pytest.approx(0.001)
+        assert "10x10x10" in str(size)
+
+    def test_initial_fields_deterministic(self):
+        a = initial_fields((4, 4, 4), ["u"], seed=1)["u"]
+        b = initial_fields((4, 4, 4), ["u"], seed=1)["u"]
+        assert np.array_equal(a, b)
+        c = initial_fields((4, 4, 4), ["u"], seed=2)["u"]
+        assert not np.array_equal(a, c)
+
+    def test_profile_array_shape(self):
+        assert profile_array(64, "tzc1").shape == (64,)
+
+
+class TestPWAdvectionKernel:
+    def test_psyclone_declaration(self, small_shape):
+        kernel = pw_advection_psyclone_kernel(small_shape)
+        assert len(kernel.statements) == 3
+        assert set(kernel.small_data_args) == set(PW_SMALL_DATA)
+        assert kernel.field_args == PW_INPUT_FIELDS + PW_OUTPUT_FIELDS
+
+    def test_module_verifies_and_has_three_stencils(self, pw_module):
+        verify_module(pw_module)
+        analysis = analyse_module(pw_module)
+        assert analysis.num_stencil_stages == 3
+
+    def test_reference_changes_only_interior(self, small_shape, pw_data):
+        arrays, small, scalars = pw_data
+        before = {k: v.copy() for k, v in arrays.items()}
+        pw_advection_reference(arrays, small, scalars, small_shape)
+        for name in PW_OUTPUT_FIELDS:
+            assert not np.array_equal(arrays[name], before[name])
+            assert np.array_equal(arrays[name][0], before[name][0])
+
+    def test_interpreter_matches_reference(self, pw_module, pw_data, small_shape):
+        arrays, small, scalars = pw_data
+        reference = {k: v.copy() for k, v in arrays.items()}
+        pw_advection_reference(reference, small, scalars, small_shape)
+        data = {k: v.copy() for k, v in arrays.items()}
+        data.update({k: v.copy() for k, v in small.items()})
+        data.update(scalars)
+        interpret_stencil_module(pw_module, "pw_advection", data)
+        for name in PW_OUTPUT_FIELDS:
+            assert np.allclose(data[name], reference[name])
+
+    def test_small_data_values(self, small_shape):
+        small = pw_advection_small_data(small_shape)
+        assert set(small) == set(PW_SMALL_DATA)
+        assert all(v.shape == (small_shape[2],) for v in small.values())
+
+
+class TestTracerAdvectionKernel:
+    def test_stencil_count_matches_paper(self):
+        assert tracer_advection_stencil_count() == 24
+
+    def test_seventeen_memory_arguments(self, tracer_module):
+        analysis = analyse_module(tracer_module)
+        memory_args = [a for a in analysis.arguments if a.is_field or a.kind == "small_data"]
+        assert len(memory_args) == 17
+
+    def test_round_coefficients_bounded(self):
+        coefficients = [round_coefficient(r) for r in range(TRACER_ROUNDS)]
+        assert all(0 < c <= 0.5 for c in coefficients)
+        assert coefficients == sorted(coefficients, reverse=True)
+
+    def test_module_verifies(self, tracer_module):
+        verify_module(tracer_module)
+
+    def test_reference_matches_interpreter(self, tracer_module, tracer_data, small_shape):
+        arrays, _, scalars = tracer_data
+        reference = {k: v.copy() for k, v in arrays.items()}
+        tracer_advection_reference(reference, {}, scalars, small_shape)
+        data = {k: v.copy() for k, v in arrays.items()}
+        data.update(scalars)
+        interpret_stencil_module(tracer_module, "tracer_advection", data)
+        for name in TRACER_WORKSPACE_FIELDS:
+            assert np.allclose(data[name], reference[name])
+
+    def test_mydomain_written_last_round_only(self, small_shape, tracer_data):
+        arrays, _, scalars = tracer_data
+        before = arrays["mydomain"].copy()
+        tracer_advection_reference(arrays, {}, scalars, small_shape)
+        interior_changed = not np.array_equal(arrays["mydomain"][1:-1, 1:-1, 1:-1],
+                                              before[1:-1, 1:-1, 1:-1])
+        assert interior_changed
+
+
+class TestReferenceExecutor:
+    def test_evaluate_expression_slicing(self):
+        u = np.arange(27.0).reshape(3, 3, 3)
+        expr = FieldAccess("u", (1, 0, 0)) - FieldAccess("u", (-1, 0, 0))
+        value = evaluate_expression(expr, {"u": u}, {}, {}, (1, 1, 1), (2, 2, 2))
+        assert value.shape == (1, 1, 1)
+        assert value[0, 0, 0] == u[2, 1, 1] - u[0, 1, 1]
+
+    def test_evaluate_constant_and_scalar(self):
+        expr = Constant(2.0) * FieldAccess("u", (0, 0, 0))
+        u = np.ones((3, 3, 3))
+        value = evaluate_expression(expr, {"u": u}, {}, {}, (1, 1, 1), (2, 2, 2))
+        assert np.all(value == 2.0)

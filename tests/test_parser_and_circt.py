@@ -1,0 +1,172 @@
+"""Tests for the textual IR parser (round-trips) and the CIRCT-style lowering."""
+
+import numpy as np
+import pytest
+
+from repro.core.pipeline import StencilHMLSCompiler
+from repro.dialects import hls, stencil
+from repro.dialects.builtin import ModuleOp
+from repro.dialects.func import FuncOp
+from repro.interp import interpret_stencil_module
+from repro.ir.attributes import DenseIntArrayAttr, FloatAttr, IntAttr, StringAttr
+from repro.ir.parser import ParseError, Parser, parse_module
+from repro.ir.printer import print_module
+from repro.ir.types import FloatType, IntegerType, LLVMArrayType, LLVMPointerType, LLVMStructType, MemRefType
+from repro.ir.verifier import verify_module
+from repro.kernels.grids import initial_fields
+from repro.kernels.pw_advection import (
+    PW_INPUT_FIELDS,
+    PW_OUTPUT_FIELDS,
+    PW_SCALARS,
+    build_pw_advection,
+    pw_advection_small_data,
+)
+from repro.kernels.reference import pw_advection_reference
+from repro.kernels.tracer_advection import build_tracer_advection
+from repro.transforms.hls_to_circt import CirctLoweringError, lower_hls_to_circt
+
+
+def roundtrip(module):
+    text = print_module(module)
+    reparsed = parse_module(text)
+    verify_module(reparsed)
+    return text, reparsed
+
+
+class TestTypeAndAttributeParsing:
+    def parse_type(self, text):
+        return Parser(text).parse_type()
+
+    def test_scalar_types(self):
+        assert self.parse_type("f64") == FloatType(64)
+        assert self.parse_type("i32") == IntegerType(32)
+        assert str(self.parse_type("index")) == "index"
+
+    def test_shaped_types(self):
+        t = self.parse_type("memref<4x5x6xf64>")
+        assert isinstance(t, MemRefType) and t.shape == (4, 5, 6)
+        dynamic = self.parse_type("memref<?x4xf64>")
+        assert dynamic.shape == (-1, 4)
+
+    def test_llvm_types(self):
+        ptr = self.parse_type("!llvm.ptr<!llvm.struct<(!llvm.array<8 x f64>)>>")
+        assert isinstance(ptr, LLVMPointerType)
+        assert isinstance(ptr.pointee, LLVMStructType)
+        assert isinstance(ptr.pointee.element_types[0], LLVMArrayType)
+        assert ptr.pointee.element_types[0].count == 8
+
+    def test_stencil_types(self):
+        field = self.parse_type("!stencil.field<[0,6]x[0,5]x[0,4]xf64>")
+        assert isinstance(field, stencil.FieldType)
+        assert field.bounds == ((0, 6), (0, 5), (0, 4))
+        temp = self.parse_type("!stencil.temp<?x?x?xf64>")
+        assert isinstance(temp, stencil.TempType) and temp.rank == 3
+
+    def test_hls_stream_type(self):
+        t = self.parse_type("!hls.stream<!llvm.array<27 x f64>>")
+        assert isinstance(t, hls.StreamType)
+
+    def test_attributes(self):
+        def parse_attr(text):
+            return Parser(text).parse_attribute()
+
+        assert parse_attr('"hello"') == StringAttr("hello")
+        assert parse_attr("3 : i64") == IntAttr(3)
+        assert parse_attr("2.5 : f64") == FloatAttr(2.5)
+        assert parse_attr("[-1, 0, 1]") == DenseIntArrayAttr([-1, 0, 1])
+        assert parse_attr("unit").name == "builtin.unit_attr"
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            self.parse_type("q99")
+        with pytest.raises(ParseError):
+            self.parse_type("!unknown.type<3>")
+        with pytest.raises(ParseError):
+            parse_module('"func.func"(%undefined) : (f64) -> ()')
+        with pytest.raises(ParseError):
+            parse_module("not ir at all $$$")
+
+
+class TestModuleRoundTrips:
+    def test_pw_stencil_module_roundtrip(self, pw_module):
+        text, reparsed = roundtrip(pw_module)
+        assert print_module(reparsed) == text
+        assert sum(1 for _ in reparsed.walk()) == sum(1 for _ in pw_module.walk())
+
+    def test_tracer_stencil_module_roundtrip(self, tracer_module):
+        text, reparsed = roundtrip(tracer_module)
+        assert print_module(reparsed) == text
+
+    def test_hls_and_llvm_module_roundtrips(self, pw_xclbin):
+        for module in (pw_xclbin.hls_module, pw_xclbin.llvm_module):
+            text, reparsed = roundtrip(module)
+            assert print_module(reparsed) == text
+
+    def test_reparsed_ops_are_registered_classes(self, pw_module):
+        _, reparsed = roundtrip(pw_module)
+        assert isinstance(reparsed, ModuleOp)
+        assert list(reparsed.walk_type(stencil.ApplyOp))
+        func = next(iter(reparsed.walk_type(FuncOp)))
+        assert func.sym_name == "pw_advection"
+
+    def test_reparsed_module_still_executes(self, small_shape):
+        """Textual IR exchange must not change the kernel's semantics."""
+        module = build_pw_advection(small_shape)
+        _, reparsed = roundtrip(module)
+        arrays = initial_fields(small_shape, PW_INPUT_FIELDS + PW_OUTPUT_FIELDS)
+        small = pw_advection_small_data(small_shape)
+        reference = {k: v.copy() for k, v in arrays.items()}
+        pw_advection_reference(reference, small, PW_SCALARS, small_shape)
+        data = {k: v.copy() for k, v in arrays.items()}
+        data.update({k: v.copy() for k, v in small.items()})
+        data.update(PW_SCALARS)
+        interpret_stencil_module(reparsed, "pw_advection", data)
+        for name in PW_OUTPUT_FIELDS:
+            assert np.allclose(data[name], reference[name])
+
+    def test_reparsed_module_can_be_recompiled(self, small_shape):
+        module = build_pw_advection(small_shape)
+        _, reparsed = roundtrip(module)
+        xclbin = StencilHMLSCompiler().compile(reparsed)
+        assert xclbin.design.compute_units == 4
+        assert xclbin.design.achieved_ii == 1
+
+    def test_unregistered_ops_survive(self):
+        text = '"builtin.module"() : () -> () ({\n  "mydialect.op"() : () -> ()\n})\n'
+        module = parse_module(text)
+        inner = list(module.walk())[1]
+        assert inner.attributes["__unregistered_name__"].data == "mydialect.op"
+
+
+class TestCirctLowering:
+    def test_pw_kernel_lowered_to_hw_module(self, pw_xclbin):
+        hw_modules = lower_hls_to_circt(pw_xclbin.hls_module)
+        assert len(hw_modules) == 1
+        hw = hw_modules[0]
+        assert hw.name == "pw_advection_hls"
+        assert len(hw.ports) == 12
+        # Channels mirror the HLS streams; processes mirror the dataflow stages.
+        assert hw.num_channels == len(pw_xclbin.plan.streams)
+        dataflow_regions = sum(
+            1 for _ in pw_xclbin.hls_module.walk_type(hls.DataflowOp)
+        )
+        assert hw.num_processes == dataflow_regions
+        hw.validate()
+
+    def test_every_channel_has_producer_and_consumer(self, tracer_xclbin):
+        hw = lower_hls_to_circt(tracer_xclbin.hls_module)[0]
+        for channel in hw.channels:
+            assert channel.producer and channel.consumer
+            assert channel.producer != channel.consumer
+
+    def test_compute_processes_are_pipelined(self, pw_xclbin):
+        hw = lower_hls_to_circt(pw_xclbin.hls_module)[0]
+        loops = [p for p in hw.processes if p.kind == "pipelined_loop"]
+        assert loops
+        assert all(p.initiation_interval == 1 for p in loops)
+        calls = [p for p in hw.processes if p.kind == "external_call"]
+        assert calls                      # load/shift/duplicate/write stages
+
+    def test_module_without_kernel_rejected(self):
+        with pytest.raises(CirctLoweringError):
+            lower_hls_to_circt(ModuleOp())

@@ -1,0 +1,207 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dialects import arith
+from repro.dialects.builtin import ModuleOp
+from repro.dialects.func import FuncOp, ReturnOp
+from repro.frontends.builder import StencilKernelBuilder
+from repro.frontends.expr import BinOp, Constant, Expr, FieldAccess, ScalarRef, UnaryOp
+from repro.interp import Interpreter, interpret_stencil_module
+from repro.ir.passes import PassManager
+from repro.ir.types import f64
+from repro.kernels.reference import evaluate_expression
+from repro.runtime.streams import FIFOStream
+from repro.runtime.window import window_index, window_offsets, window_size
+from repro.transforms.canonicalize import CanonicalizePass
+from repro.transforms.stencil_to_scf import StencilToSCFPass
+
+# ---------------------------------------------------------------------------
+# Window ordering invariants
+# ---------------------------------------------------------------------------
+
+
+@given(rank=st.integers(1, 3), radius=st.integers(1, 3))
+def test_window_offsets_are_a_bijection_onto_lane_indices(rank, radius):
+    offsets = window_offsets(rank, radius)
+    assert len(offsets) == window_size(rank, radius)
+    lanes = [window_index(offset, radius) for offset in offsets]
+    assert lanes == list(range(len(offsets)))
+
+
+@given(
+    radius=st.integers(1, 3),
+    offset=st.tuples(st.integers(-3, 3), st.integers(-3, 3), st.integers(-3, 3)),
+)
+def test_window_index_in_range_or_rejected(radius, offset):
+    if all(abs(component) <= radius for component in offset):
+        lane = window_index(offset, radius)
+        assert 0 <= lane < window_size(3, radius)
+    else:
+        with pytest.raises(ValueError):
+            window_index(offset, radius)
+
+
+# ---------------------------------------------------------------------------
+# FIFO stream invariants
+# ---------------------------------------------------------------------------
+
+
+@given(st.lists(st.floats(allow_nan=False, allow_infinity=False, width=32), max_size=200))
+def test_fifo_preserves_order_and_counts(values):
+    stream = FIFOStream("s", depth=8)
+    for value in values:
+        stream.write(value)
+    popped = [stream.read() for _ in range(len(values))]
+    assert popped == values
+    assert stream.total_pushed == len(values)
+    assert stream.total_popped == len(values)
+    assert stream.empty()
+
+
+@given(st.lists(st.integers(), min_size=1, max_size=50), st.integers(1, 10))
+def test_fifo_high_water_mark_bounds_queue_length(values, batch):
+    stream = FIFOStream("s")
+    for start in range(0, len(values), batch):
+        for value in values[start : start + batch]:
+            stream.write(value)
+        while not stream.empty():
+            stream.read()
+    assert stream.high_water_mark <= batch + stream.high_water_mark * 0 + len(values)
+    assert stream.empty()
+
+
+# ---------------------------------------------------------------------------
+# Random stencil expressions: numpy reference == IR interpreter == CPU lowering
+# ---------------------------------------------------------------------------
+
+
+def expression_strategy(max_depth=3):
+    offsets = st.tuples(st.integers(-1, 1), st.integers(-1, 1), st.integers(-1, 1))
+    leaf = st.one_of(
+        st.builds(FieldAccess, st.just("u"), offsets),
+        st.builds(FieldAccess, st.just("v"), offsets),
+        st.builds(Constant, st.floats(-2.0, 2.0).map(lambda x: round(x, 3))),
+        st.just(ScalarRef("alpha")),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.builds(BinOp, st.sampled_from(["+", "-", "*", "max", "min"]), children, children),
+            st.builds(UnaryOp, st.sampled_from(["neg", "abs"]), children),
+        )
+
+    return st.recursive(leaf, extend, max_leaves=8)
+
+
+@settings(max_examples=25, deadline=None)
+@given(expr=expression_strategy())
+def test_random_expressions_agree_between_reference_and_interpreter(expr):
+    shape = (5, 4, 4)
+    builder = StencilKernelBuilder("rand_kernel", shape)
+    u = builder.input_field("u")
+    v = builder.input_field("v")
+    out = builder.output_field("out")
+    alpha = builder.scalar("alpha")
+    builder.add_stencil(out, expr + 0.0 * (u[0, 0, 0] + v[0, 0, 0] + alpha))
+    module = builder.build()
+
+    rng = np.random.default_rng(0)
+    arrays = {
+        "u": rng.standard_normal(shape),
+        "v": rng.standard_normal(shape),
+        "out": np.zeros(shape),
+    }
+    scalars = {"alpha": 0.75}
+
+    lower, upper = builder.default_domain()
+    expected_interior = evaluate_expression(expr, arrays, scalars, {}, lower, upper)
+
+    data = {k: v.copy() for k, v in arrays.items()}
+    data.update(scalars)
+    interpret_stencil_module(module, "rand_kernel", data)
+    interior = tuple(slice(l, u) for l, u in zip(lower, upper))
+    assert np.allclose(data["out"][interior], expected_interior, atol=1e-12)
+
+
+@settings(max_examples=10, deadline=None)
+@given(expr=expression_strategy())
+def test_cpu_lowering_agrees_with_stencil_interpreter(expr):
+    shape = (5, 4, 4)
+
+    def build():
+        builder = StencilKernelBuilder("rand_kernel", shape)
+        u = builder.input_field("u")
+        v = builder.input_field("v")
+        out = builder.output_field("out")
+        alpha = builder.scalar("alpha")
+        builder.add_stencil(out, expr + 0.0 * (u[0, 0, 0] + v[0, 0, 0] + alpha))
+        return builder.build()
+
+    rng = np.random.default_rng(1)
+    arrays = {
+        "u": rng.standard_normal(shape),
+        "v": rng.standard_normal(shape),
+    }
+
+    stencil_module = build()
+    data_a = {"u": arrays["u"].copy(), "v": arrays["v"].copy(), "out": np.zeros(shape), "alpha": 0.5}
+    interpret_stencil_module(stencil_module, "rand_kernel", data_a)
+
+    lowered = build()
+    PassManager([StencilToSCFPass()]).run(lowered)
+    func = lowered.get_symbol("rand_kernel")
+    data_b = {"u": arrays["u"].copy(), "v": arrays["v"].copy(), "out": np.zeros(shape), "alpha": 0.5}
+    ordered = [data_b[arg.name_hint] for arg in func.entry_block.args]
+    Interpreter(lowered).run("rand_kernel", *ordered)
+    assert np.allclose(data_a["out"], data_b["out"], atol=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Canonicalisation preserves semantics of scalar programs
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(st.floats(-10, 10).map(lambda x: round(x, 3)), min_size=2, max_size=6),
+    x=st.floats(-10, 10).map(lambda x: round(x, 3)),
+)
+def test_canonicalisation_preserves_scalar_semantics(values, x):
+    def build():
+        module = ModuleOp()
+        func = FuncOp.with_body("f", [f64], [f64])
+        module.add_op(func)
+        current = func.args[0]
+        ops = []
+        for index, value in enumerate(values):
+            const = arith.ConstantOp.from_float(value)
+            op_class = [arith.AddfOp, arith.MulfOp, arith.SubfOp][index % 3]
+            combined = op_class(current, const.result)
+            ops.extend([const, combined])
+            current = combined.result
+        func.entry_block.add_ops(ops + [ReturnOp([current])])
+        return module
+
+    plain = build()
+    canonical = build()
+    PassManager([CanonicalizePass()]).run(canonical)
+    before = Interpreter(plain).run("f", x)[0]
+    after = Interpreter(canonical).run("f", x)[0]
+    assert after == pytest.approx(before, rel=1e-12, abs=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Expression AST invariants
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(expr=expression_strategy())
+def test_expression_queries_are_consistent(expr):
+    assert expr.fields_read() <= {"u", "v"}
+    assert expr.max_radius() <= 1
+    assert expr.count_flops() >= 0
+    assert len(expr.accesses()) >= 0

@@ -1,0 +1,127 @@
+"""Tests for the kernel-argument classification and structural analysis (step 1)."""
+
+import pytest
+
+from repro.frontends.builder import StencilKernelBuilder
+from repro.kernels.pw_advection import build_pw_advection
+from repro.kernels.tracer_advection import TRACER_ROUNDS, build_tracer_advection
+from repro.transforms.stencil_analysis import AnalysisError, analyse_module
+from repro.dialects.builtin import ModuleOp
+from repro.dialects.func import FuncOp, ReturnOp
+
+
+class TestArgumentClassification:
+    def test_pw_classification(self, pw_module):
+        analysis = analyse_module(pw_module)
+        kinds = {a.name: a.kind for a in analysis.arguments}
+        assert kinds["u"] == "field_input"
+        assert kinds["su"] == "field_output"
+        assert kinds["tzc1"] == "small_data"
+        assert kinds["tcx"] == "scalar"
+        assert len(analysis.field_inputs) == 3
+        assert len(analysis.field_outputs) == 3
+        assert len(analysis.small_data) == 4
+        assert len(analysis.scalars) == 2
+
+    def test_pw_ports(self, pw_module):
+        analysis = analyse_module(pw_module)
+        # One port per field plus one shared port for the small data (§4).
+        assert analysis.num_field_ports == 6
+        assert analysis.ports_per_cu(bundle_small_data=True) == 7
+        assert analysis.ports_per_cu(bundle_small_data=False) == 10
+
+    def test_tracer_ports(self, tracer_module):
+        analysis = analyse_module(tracer_module)
+        # 17 memory arguments, each mapped to a separate port (§4).
+        assert analysis.num_field_ports == 17
+        assert analysis.ports_per_cu() == 17
+
+    def test_argument_shapes_recorded(self, pw_module, small_shape):
+        analysis = analyse_module(pw_module)
+        u = next(a for a in analysis.arguments if a.name == "u")
+        assert u.shape == small_shape
+        assert u.lower == (0, 0, 0)
+        tzc1 = next(a for a in analysis.arguments if a.name == "tzc1")
+        assert tzc1.num_elements == small_shape[2]
+
+
+class TestStageAnalysis:
+    def test_pw_stage_structure(self, pw_module):
+        analysis = analyse_module(pw_module)
+        assert analysis.num_stencil_stages == 3
+        assert analysis.num_waves == 1          # all three stencils are independent
+        outputs = [stage.output_fields[0] for stage in analysis.stages]
+        assert outputs == ["su", "sv", "sw"]
+        for stage in analysis.stages:
+            assert set(stage.input_fields) == {"u", "v", "w"}
+            assert stage.radius == 1
+            assert stage.window_size() == 27
+            assert stage.flops > 10
+            assert stage.depends_on == []
+
+    def test_pw_offsets_recorded(self, pw_module):
+        analysis = analyse_module(pw_module)
+        su_stage = analysis.stages[0]
+        assert (-1, 0, 0) in su_stage.offsets["u"]
+        assert (0, 0, 1) in su_stage.offsets["w"]
+
+    def test_tracer_stage_structure(self, tracer_module):
+        analysis = analyse_module(tracer_module)
+        assert analysis.num_stencil_stages == 2 * TRACER_ROUNDS == 24
+        assert analysis.num_waves == TRACER_ROUNDS == 12
+        waves = analysis.dependency_waves()
+        assert all(len(wave) == 2 for wave in waves)
+        # Later stages must depend on earlier ones.
+        assert analysis.stages[4].depends_on != []
+
+    def test_domain(self, pw_module, small_shape):
+        analysis = analyse_module(pw_module)
+        assert analysis.domain_lower == (1, 1, 1)
+        assert analysis.domain_upper == tuple(s - 1 for s in small_shape)
+        expected = 1
+        for extent in small_shape:
+            expected *= extent - 2
+        assert analysis.domain_points == expected
+        assert analysis.total_grid_points == small_shape[0] * small_shape[1] * small_shape[2]
+
+    def test_total_flops(self, pw_module):
+        analysis = analyse_module(pw_module)
+        assert analysis.total_flops_per_point == sum(s.flops for s in analysis.stages)
+        assert analysis.max_radius == 1
+
+    def test_module_without_stencils_rejected(self):
+        module = ModuleOp()
+        func = FuncOp.with_body("empty", [], [])
+        func.entry_block.add_op(ReturnOp([]))
+        module.add_op(func)
+        with pytest.raises(AnalysisError):
+            analyse_module(module)
+
+    def test_multiple_kernels_need_explicit_name(self, small_shape):
+        b1 = StencilKernelBuilder("k1", small_shape)
+        u1, o1 = b1.input_field("u"), b1.output_field("o")
+        b1.add_stencil(o1, u1[0, 0, 0])
+        b2 = StencilKernelBuilder("k2", small_shape)
+        u2, o2 = b2.input_field("u"), b2.output_field("o")
+        b2.add_stencil(o2, u2[0, 0, 0])
+        module = ModuleOp()
+        module.add_op(b1.build().get_symbol("k1").detach())
+        module.add_op(b2.build().get_symbol("k2").detach())
+        with pytest.raises(AnalysisError):
+            analyse_module(module)
+        assert analyse_module(module, "k2").func_name == "k2"
+
+    def test_analysis_scales_with_problem_size(self):
+        small = analyse_module(build_pw_advection((6, 5, 4)))
+        large = analyse_module(build_pw_advection((32, 16, 8)))
+        assert large.domain_points > small.domain_points
+        assert large.num_stencil_stages == small.num_stencil_stages
+
+    def test_tracer_uses_all_17_memory_args(self, tracer_module):
+        analysis = analyse_module(tracer_module)
+        used = set()
+        for stage in analysis.stages:
+            used.update(stage.input_args)
+            used.update(stage.output_args)
+        memory_args = {a.name for a in analysis.arguments if a.is_field}
+        assert used == memory_args

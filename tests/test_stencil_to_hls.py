@@ -1,0 +1,244 @@
+"""Tests for the nine-step Stencil-HMLS transformation (§3.3)."""
+
+import pytest
+
+from repro.core.config import CompilerOptions
+from repro.dialects import hls, llvm as llvm_d, memref as memref_d, scf, stencil
+from repro.dialects.func import CallOp, FuncOp
+from repro.ir.passes import PassManager
+from repro.ir.types import LLVMPointerType, LLVMStructType, MemRefType
+from repro.ir.verifier import verify_module
+from repro.kernels.pw_advection import build_pw_advection
+from repro.kernels.tracer_advection import build_tracer_advection
+from repro.runtime.window import window_index
+from repro.transforms.stencil_to_hls import StencilToHLSPass
+
+
+def lower(module, options=None):
+    pass_ = StencilToHLSPass(options or CompilerOptions())
+    PassManager([pass_]).run(module)
+    return pass_
+
+
+@pytest.fixture()
+def pw_lowered(small_shape):
+    module = build_pw_advection(small_shape)
+    pass_ = lower(module)
+    plan = pass_.plans["pw_advection_hls"]
+    kernel = module.get_symbol("pw_advection_hls")
+    return module, kernel, plan
+
+
+class TestKernelStructure:
+    def test_original_function_replaced(self, pw_lowered):
+        module, kernel, _ = pw_lowered
+        assert module.get_symbol("pw_advection") is None
+        assert isinstance(kernel, FuncOp)
+        assert "hls.kernel" in kernel.attributes
+
+    def test_module_still_verifies(self, pw_lowered):
+        module, _, _ = pw_lowered
+        verify_module(module)
+
+    def test_no_stencil_ops_left_in_kernel(self, pw_lowered):
+        _, kernel, _ = pw_lowered
+        assert not list(kernel.walk_type(stencil.ApplyOp))
+        assert not list(kernel.walk_type(stencil.AccessOp))
+        assert not list(kernel.walk_type(stencil.StoreOp))
+
+    def test_runtime_declarations_added(self, pw_lowered):
+        module, _, plan = pw_lowered
+        declared = {
+            op.sym_name for op in module.body.ops
+            if isinstance(op, FuncOp) and op.is_declaration
+        }
+        assert plan.waves[0].load.callee in declared
+        assert plan.waves[0].write.callee in declared
+        for shift in plan.waves[0].shifts:
+            assert shift.callee in declared
+
+
+class TestStep2InterfacePacking:
+    def test_field_args_become_512bit_packed_pointers(self, pw_lowered):
+        _, kernel, _ = pw_lowered
+        for arg in kernel.entry_block.args:
+            if arg.name_hint in ("u", "v", "w", "su", "sv", "sw"):
+                assert isinstance(arg.type, LLVMPointerType)
+                struct = arg.type.pointee
+                assert isinstance(struct, LLVMStructType)
+                assert struct.element_types[0].count == 8      # 8 x f64 = 512 bits
+            elif arg.name_hint.startswith("tz"):
+                assert isinstance(arg.type, MemRefType)        # small data stays addressable
+
+    def test_packing_can_be_disabled(self, small_shape):
+        module = build_pw_advection(small_shape)
+        pass_ = lower(module, CompilerOptions(pack_interfaces=False))
+        kernel = module.get_symbol("pw_advection_hls")
+        u = next(a for a in kernel.entry_block.args if a.name_hint == "u")
+        assert isinstance(u.type, LLVMPointerType)
+        assert not isinstance(u.type.pointee, LLVMStructType)
+        plan = pass_.plans["pw_advection_hls"]
+        assert all(i.packed_lanes == 1 for i in plan.interfaces if i.protocol == "m_axi")
+
+
+class TestStep3Streams:
+    def test_streams_created_for_inputs_and_windows(self, pw_lowered):
+        _, kernel, plan = pw_lowered
+        creates = list(kernel.walk_type(hls.CreateStreamOp))
+        assert len(creates) == len(plan.streams)
+        kinds = {s.kind for s in plan.streams}
+        assert kinds == {"raw_in", "window", "window_copy", "result"}
+
+    def test_window_streams_duplicated_per_consumer(self, pw_lowered):
+        _, _, plan = pw_lowered
+        # Three compute stages all read u, v and w: each window stream must be
+        # copied once per consuming stage.
+        copies = [s for s in plan.streams if s.kind == "window_copy"]
+        assert len(copies) == 9
+        assert len(plan.waves[0].duplicates) == 3
+
+    def test_shift_buffer_stage_per_input_field(self, pw_lowered):
+        _, kernel, plan = pw_lowered
+        wave = plan.waves[0]
+        assert {s.field_name for s in wave.shifts} == {"u", "v", "w"}
+        for shift in wave.shifts:
+            assert shift.radius == 1
+            assert shift.window_size == 27        # 3-D unit-radius window (Figure 2)
+            assert shift.buffer_elements > 27
+
+    def test_dataflow_regions_cover_figure3_structure(self, pw_lowered):
+        _, kernel, plan = pw_lowered
+        labels = [op.label for op in kernel.walk_type(hls.DataflowOp)]
+        assert any(l.startswith("load_") for l in labels)
+        assert sum(1 for l in labels if l.startswith("shift_")) == 3
+        assert sum(1 for l in labels if l.startswith("duplicate_")) == 3
+        assert sum(1 for l in labels if l.startswith("compute_")) == 3
+        assert any(l.startswith("write_data") for l in labels)
+
+
+class TestStep4ComputeSplit:
+    def test_one_compute_stage_per_output_field(self, pw_lowered):
+        _, _, plan = pw_lowered
+        computes = plan.waves[0].computes
+        assert len(computes) == 3
+        assert sorted(c.output_fields[0] for c in computes) == ["su", "sv", "sw"]
+
+    def test_split_can_be_disabled(self, small_shape):
+        module = build_pw_advection(small_shape)
+        pass_ = lower(module, CompilerOptions(split_compute_per_field=False))
+        kernel = module.get_symbol("pw_advection_hls")
+        compute_regions = [
+            op for op in kernel.walk_type(hls.DataflowOp) if op.label.startswith("compute_")
+        ]
+        assert len(compute_regions) == 1
+        plan = pass_.plans["pw_advection_hls"]
+        assert not plan.waves[0].duplicates      # a single consumer needs no copies
+
+
+class TestStep5OffsetMapping:
+    def test_accesses_become_window_extracts(self, pw_lowered):
+        _, kernel, _ = pw_lowered
+        extracts = list(kernel.walk_type(llvm_d.ExtractValueOp))
+        assert extracts
+        # All lanes must be inside the 27-value window.
+        for extract in extracts:
+            assert 0 <= extract.position[0] < 27
+        # The centre lane must be used somewhere.
+        assert any(e.position[0] == window_index((0, 0, 0), 1) for e in extracts)
+
+    def test_pipeline_directive_in_compute_loops(self, pw_lowered):
+        _, kernel, _ = pw_lowered
+        for region in kernel.walk_type(hls.DataflowOp):
+            if not region.label.startswith("compute_"):
+                continue
+            loops = list(region.walk_type(scf.ForOp))
+            assert loops
+            assert any(isinstance(op, hls.PipelineOp) and op.ii == 1
+                       for op in loops[0].body.ops)
+
+
+class TestStep6And7DataMovers:
+    def test_single_load_and_write_call_per_wave(self, pw_lowered):
+        _, kernel, plan = pw_lowered
+        calls = [op for op in kernel.walk_type(CallOp)]
+        load_calls = [c for c in calls if c.callee.startswith("load_data")]
+        write_calls = [c for c in calls if c.callee.startswith("write_data")]
+        assert len(load_calls) == plan.num_waves == 1
+        assert len(write_calls) == 1
+        # The specialised load receives every input field plus its stream.
+        assert len(load_calls[0].operands) == 2 * len(plan.waves[0].load.fields)
+
+    def test_write_spec_covers_every_output(self, pw_lowered):
+        _, _, plan = pw_lowered
+        written = {f.field_name for f in plan.waves[0].write.fields}
+        assert written == {"su", "sv", "sw"}
+        for spec in plan.waves[0].write.fields:
+            assert spec.lower == (1, 1, 1)
+
+
+class TestStep8SmallData:
+    def test_small_data_copied_per_consuming_stage(self, pw_lowered):
+        _, kernel, plan = pw_lowered
+        allocas = list(kernel.walk_type(memref_d.AllocaOp))
+        # tzc1/tzc2 are used by the su and sv stages, tzd1/tzd2 by sw: 6 copies.
+        assert len(allocas) == 6
+        assert len(plan.small_copies) == 6
+        assert {c.arg_name for c in plan.small_copies} == {"tzc1", "tzc2", "tzd1", "tzd2"}
+        # Copy loops are pipelined.
+        copy_loops = [op for op in kernel.entry_block.ops if isinstance(op, scf.ForOp)]
+        assert len(copy_loops) == 6
+
+    def test_small_data_copy_can_be_disabled(self, small_shape):
+        module = build_pw_advection(small_shape)
+        pass_ = lower(module, CompilerOptions(copy_small_data_to_bram=False))
+        kernel = module.get_symbol("pw_advection_hls")
+        assert not list(kernel.walk_type(memref_d.AllocaOp))
+        assert not pass_.plans["pw_advection_hls"].small_copies
+
+
+class TestStep9Interfaces:
+    def test_every_argument_gets_an_interface(self, pw_lowered):
+        _, kernel, plan = pw_lowered
+        interfaces = list(kernel.walk_type(hls.InterfaceOp))
+        assert len(interfaces) == len(kernel.entry_block.args)
+        assert len(plan.interfaces) == len(interfaces)
+
+    def test_fields_get_own_bundles_small_data_shares(self, pw_lowered):
+        _, _, plan = pw_lowered
+        field_bundles = {i.bundle for i in plan.interfaces if not i.is_small_data and i.protocol == "m_axi"}
+        assert len(field_bundles) == 6
+        small_bundles = {i.bundle for i in plan.interfaces if i.is_small_data}
+        assert small_bundles == {"gmem_small"}
+        scalar_ifaces = [i for i in plan.interfaces if i.protocol == "s_axilite"]
+        assert {i.arg_name for i in scalar_ifaces} == {"tcx", "tcy"}
+        assert plan.ports_per_cu == 7
+
+    def test_single_bundle_ablation(self, small_shape):
+        module = build_pw_advection(small_shape)
+        pass_ = lower(module, CompilerOptions(separate_bundles=False))
+        plan = pass_.plans["pw_advection_hls"]
+        m_axi_bundles = {i.bundle for i in plan.interfaces if i.protocol == "m_axi"}
+        assert m_axi_bundles == {"gmem0", "gmem_small"}
+        assert plan.ports_per_cu == 2
+
+
+class TestMultiWaveKernels:
+    def test_tracer_waves_and_stage_counts(self, small_shape):
+        module = build_tracer_advection(small_shape)
+        pass_ = lower(module)
+        plan = pass_.plans["tracer_advection_hls"]
+        assert plan.num_waves == 12
+        assert plan.num_compute_stages == 24
+        # Every wave has its own load and write stages (chained dependencies
+        # prevent the single-load structure of PW advection).
+        kernel = module.get_symbol("tracer_advection_hls")
+        calls = [op.callee for op in kernel.walk_type(CallOp)]
+        assert sum(1 for c in calls if c.startswith("load_data")) == 12
+        assert sum(1 for c in calls if c.startswith("write_data")) == 12
+        assert plan.ports_per_cu == 17
+
+    def test_plan_summary_mentions_key_numbers(self, pw_lowered):
+        _, _, plan = pw_lowered
+        summary = plan.summary()
+        assert "compute stages" in summary
+        assert "waves" in summary
