@@ -18,11 +18,15 @@ from repro.kernels.pw_advection import build_pw_advection
 SHAPE = PW_ADVECTION_SIZES["8M"].shape
 
 
-def compile_and_time(options: CompilerOptions, device=ALVEO_U280):
+def compile_and_time(options: CompilerOptions, device=ALVEO_U280, pass_pipeline=None):
     module = build_pw_advection(SHAPE)
-    xclbin = StencilHMLSCompiler(options, device).compile(module)
+    xclbin = StencilHMLSCompiler(options, device, pass_pipeline=pass_pipeline).compile(module)
     timing = TimingModel().estimate(xclbin.design)
     return xclbin, timing
+
+
+def compile_with_pipeline(spec: str, device=ALVEO_U280):
+    return compile_and_time(CompilerOptions(), device, pass_pipeline=spec)
 
 
 @pytest.fixture(scope="module")
@@ -79,6 +83,51 @@ class TestA4ComputeUnitReplication:
         print(f"\nA4 VCK5000 profile: {xclbin.design.compute_units} CUs vs "
               f"{base_xclbin.design.compute_units} on the U280")
         assert xclbin.design.compute_units >= base_xclbin.design.compute_units
+
+
+class TestPipelineSpecAblations:
+    """The A1–A3 toggles, driven by sub-pass pipeline options instead of
+    coarse CompilerOptions booleans — each must reproduce the corresponding
+    option-based ablation exactly."""
+
+    def test_compute_split_toggle(self, benchmark, baseline):
+        xclbin, timing = benchmark(lambda: compile_with_pipeline(
+            "canonicalize,convert-stencil-to-hls{split=0},convert-hls-to-llvm"
+        ))
+        option_xclbin, option_timing = compile_and_time(CompilerOptions(split_compute_per_field=False))
+        base_xclbin, base_timing = baseline
+        assert xclbin.design.achieved_ii == option_xclbin.design.achieved_ii
+        assert timing.mpts == pytest.approx(option_timing.mpts)
+        assert base_timing.mpts > timing.mpts
+
+    def test_packing_toggle(self, baseline):
+        xclbin, _ = compile_with_pipeline(
+            "canonicalize,convert-stencil-to-hls{pack=0},convert-hls-to-llvm"
+        )
+        base_xclbin, _ = baseline
+        assert max(i.packed_lanes for i in xclbin.plan.interfaces) == 1
+        assert max(i.packed_lanes for i in base_xclbin.plan.interfaces) == 8
+
+    def test_bundle_toggle(self, baseline):
+        xclbin, timing = compile_with_pipeline(
+            "canonicalize,convert-stencil-to-hls{bundles=0},convert-hls-to-llvm"
+        )
+        base_xclbin, base_timing = baseline
+        assert xclbin.design.ports_per_cu < base_xclbin.design.ports_per_cu == 7
+        assert base_timing.mpts > timing.mpts
+
+    def test_small_data_stage_omission(self):
+        """Dropping `stencil-small-data-buffering` from the staged pipeline is
+        the BRAM-copy ablation (no coarse option needed)."""
+        xclbin, _ = compile_with_pipeline(
+            "canonicalize,stencil-shape-inference,stencil-interface-lowering,"
+            "stencil-wave-pipelining,stencil-compute-split,hls-bundle-assignment,"
+            "convert-hls-to-llvm"
+        )
+        assert not xclbin.plan.small_copies
+        option_xclbin, _ = compile_and_time(CompilerOptions(copy_small_data_to_bram=False))
+        assert xclbin.design.achieved_ii == option_xclbin.design.achieved_ii
+        assert xclbin.plan.on_chip_buffer_bits == option_xclbin.plan.on_chip_buffer_bits
 
 
 class TestCompileOptLevel:

@@ -40,6 +40,9 @@ class FrameworkArtifact:
     analysis: StencilKernelAnalysis
     xclbin: Xclbin | None = None
     notes: list[str] = field(default_factory=list)
+    #: Per-pass timing/change statistics of the compilation, when the
+    #: framework's flow is pass-based (:class:`~repro.ir.passes.PassStatistics`).
+    pass_statistics: list = field(default_factory=list)
 
     @property
     def achieved_ii(self) -> int:

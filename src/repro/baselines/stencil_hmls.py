@@ -34,4 +34,5 @@ class StencilHMLSFramework(Framework):
             analysis=xclbin.plan.analysis,
             xclbin=xclbin,
             notes=list(xclbin.design.notes),
+            pass_statistics=list(compiler.pass_statistics),
         )

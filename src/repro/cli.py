@@ -14,6 +14,7 @@ import sys
 
 from repro.core.config import CompilerOptions
 from repro.core.pipeline import StencilHMLSCompiler
+from repro.ir.pass_registry import PipelineParseError
 from repro.evaluation import report as report_module
 from repro.fpga.device import ALVEO_U280, VCK5000, device_by_name
 from repro.ir.printer import print_module
@@ -35,6 +36,14 @@ def main_compile(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-pack", action="store_true", help="disable 512-bit interface packing")
     parser.add_argument("--no-split", action="store_true", help="disable the per-field dataflow split")
     parser.add_argument("--single-bundle", action="store_true", help="share one AXI bundle between all arguments")
+    parser.add_argument(
+        "--pass-pipeline",
+        default=None,
+        metavar="SPEC",
+        help="textual middle-end pipeline spec, e.g. "
+        '"canonicalize,convert-stencil-to-hls{pack=0},convert-hls-to-llvm"',
+    )
+    parser.add_argument("--timing", action="store_true", help="print per-pass statistics")
     parser.add_argument("--print-hls", action="store_true", help="print the HLS-dialect IR")
     parser.add_argument("--print-llvm", action="store_true", help="print the annotated LLVM-dialect IR")
     parser.add_argument("--metadata", default=None, help="write xclbin metadata JSON to this path")
@@ -51,13 +60,27 @@ def main_compile(argv: list[str] | None = None) -> int:
         separate_bundles=not args.single_bundle,
     )
     device = device_by_name(args.device)
-    compiler = StencilHMLSCompiler(options, device)
+    compiler = StencilHMLSCompiler(options, device, pass_pipeline=args.pass_pipeline)
     module = builder(shape)
-    xclbin = compiler.compile(module)
+    try:
+        xclbin = compiler.compile(module)
+    except PipelineParseError as err:
+        parser.error(str(err))
+    except ValueError as err:
+        if args.pass_pipeline is None:
+            raise
+        # Bad user-provided pipeline (missing stage, bad option value, …):
+        # report it as CLI usage feedback, not a traceback.
+        parser.error(f"--pass-pipeline: {err}")
 
     print(f"compiled {args.kernel} @ {args.size} for {device.name}")
     for key, value in xclbin.summary().items():
         print(f"  {key:<16}: {value}")
+    if args.timing:
+        print("per-pass statistics:")
+        for stat in compiler.pass_statistics:
+            status = "changed" if stat.changed else "no change"
+            print(f"  {stat.name:<44} {stat.seconds * 1e3:9.3f} ms  {status}")
     if args.print_hls and xclbin.hls_module is not None:
         print(print_module(xclbin.hls_module))
     if args.print_llvm and xclbin.llvm_module is not None:

@@ -2,7 +2,9 @@
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
+from typing import Any, Mapping
 
 
 @dataclass
@@ -54,3 +56,77 @@ class CompilerOptions:
             raise ValueError("stream_depth must be >= 1")
         if self.max_compute_units < 0:
             raise ValueError("max_compute_units must be >= 0")
+
+
+#: Short option names accepted in textual pipeline specs, e.g.
+#: ``stencil-to-hls{pack=0}`` (long CompilerOptions field names work too).
+PIPELINE_OPTION_ALIASES: dict[str, str] = {
+    "pack": "pack_interfaces",
+    "width": "interface_width_bits",
+    "split": "split_compute_per_field",
+    "bram": "copy_small_data_to_bram",
+    "small_bram": "copy_small_data_to_bram",
+    "bundles": "separate_bundles",
+    "bundle_small": "bundle_small_data",
+    "ii": "target_ii",
+    "depth": "stream_depth",
+    "replicate": "replicate_compute_units",
+    "max_cu": "max_compute_units",
+    "opt": "vitis_opt_level",
+}
+
+
+def _coerce_option(value: Any, current: Any) -> Any:
+    """Coerce a parsed pipeline option value to the field's current type."""
+    if isinstance(current, bool):
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, int):
+            return bool(value)
+        if isinstance(value, str):
+            lowered = value.strip().lower()
+            if lowered in ("1", "true", "yes", "on"):
+                return True
+            if lowered in ("0", "false", "no", "off"):
+                return False
+            raise ValueError(f"cannot interpret '{value}' as a boolean")
+        raise ValueError(f"cannot interpret {value!r} as a boolean")
+    if isinstance(current, int):
+        return int(value)
+    return value
+
+
+def resolve_option_field(key: str) -> str:
+    """Canonical :class:`CompilerOptions` field name for a pipeline option key.
+
+    Accepts :data:`PIPELINE_OPTION_ALIASES` short names or full field names
+    (dashes are accepted in place of underscores); raises for unknown keys.
+    """
+    known = {f.name for f in dataclasses.fields(CompilerOptions)}
+    normalised = key.replace("-", "_")
+    field_name = PIPELINE_OPTION_ALIASES.get(normalised, normalised)
+    if field_name not in known:
+        raise ValueError(
+            f"unknown compiler option '{key}' "
+            f"(known: {', '.join(sorted(set(PIPELINE_OPTION_ALIASES) | known))})"
+        )
+    return field_name
+
+
+def resolve_option_overrides(
+    base: CompilerOptions, overrides: Mapping[str, Any]
+) -> CompilerOptions:
+    """Apply pipeline-spec option overrides on top of ``base``.
+
+    Keys resolve through :func:`resolve_option_field`.  Returns a validated
+    copy; ``base`` is never mutated.
+    """
+    if not overrides:
+        return base
+    values: dict[str, Any] = {}
+    for key, value in overrides.items():
+        field_name = resolve_option_field(key)
+        values[field_name] = _coerce_option(value, getattr(base, field_name))
+    resolved = dataclasses.replace(base, **values)
+    resolved.validate()
+    return resolved

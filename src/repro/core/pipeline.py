@@ -4,7 +4,8 @@ Source code is turned into stencil-dialect IR by a frontend
 (:mod:`repro.frontends`); this module drives everything below that level:
 
     stencil dialect
-      │   StencilToHLSPass (the nine automatic optimisation steps of §3.3)
+      │   staged stencil→HLS lowering (the nine steps of §3.3, see
+      │   repro.transforms.stencil_hls; scheduled via the pass registry)
       ▼
     HLS dialect                      ──► kept for functional simulation
       │   HLSToLLVMPass (§3.2)
@@ -15,24 +16,54 @@ Source code is turned into stencil-dialect IR by a frontend
     Vitis-HLS-like synthesis model   ──► KernelDesign
       ▼
     Xclbin (design + plan + IR + reports)
+
+The middle-end is driven by an MLIR-style textual pipeline spec (default
+``canonicalize,convert-stencil-to-hls,convert-hls-to-llvm``); pass
+``pass_pipeline=...`` (or ``--pass-pipeline`` on the CLI) to customise it,
+e.g. to ablate individual lowering stages.  Per-pass timing/change
+statistics of the last compilation are kept on ``compiler.pass_statistics``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.core.config import CompilerOptions
 from repro.core.plan import DataflowPlan
+from repro.dialects import hls, stencil
 from repro.dialects.builtin import ModuleOp
 from repro.fpga.device import ALVEO_U280, FPGADevice
 from repro.fpga.synthesis import KernelDesign, VitisHLSBackend
 from repro.fpga.xclbin import Xclbin
 from repro.fpp.preprocessor import FPPReport, run_fpp
-from repro.ir.passes import PassManager
+from repro.ir.pass_registry import PassRegistry
+from repro.ir.passes import PassContext, PassManager, PassStatistics
 from repro.ir.verifier import verify_module
-from repro.transforms.canonicalize import CanonicalizePass
 from repro.transforms.hls_to_llvm import HLSToLLVMPass
-from repro.transforms.stencil_to_hls import StencilToHLSPass
+from repro.transforms.stencil_hls import HLSBundleAssignmentPass, LoweringContext
+
+
+def select_plan(plans: dict[str, DataflowPlan], kernel_name: str | None = None) -> DataflowPlan:
+    """Look up one kernel's plan, accepting base or ``<name>_hls`` spellings.
+
+    Raises a :class:`KeyError` listing the available kernel names when the
+    lookup fails, and a :class:`ValueError` when ``kernel_name`` is needed
+    but missing.
+    """
+    if kernel_name is None:
+        if len(plans) != 1:
+            raise ValueError(
+                "module contains several kernels; pass kernel_name explicitly "
+                f"(available: {', '.join(sorted(plans))})"
+            )
+        return next(iter(plans.values()))
+    for candidate in (kernel_name, f"{kernel_name}_hls"):
+        if candidate in plans:
+            return plans[candidate]
+    raise KeyError(
+        f"no kernel named '{kernel_name}' was lowered "
+        f"(available: {', '.join(sorted(plans))})"
+    )
 
 
 @dataclass
@@ -45,6 +76,7 @@ class CompilationArtifacts:
     plan: DataflowPlan
     fpp_report: FPPReport
     design: KernelDesign
+    pass_statistics: list[PassStatistics] = field(default_factory=list)
 
 
 class StencilHMLSCompiler:
@@ -56,12 +88,20 @@ class StencilHMLSCompiler:
         device: FPGADevice = ALVEO_U280,
         clock_mhz: float | None = None,
         canonicalize: bool = True,
+        pass_pipeline: str | None = None,
     ) -> None:
         self.options = options or CompilerOptions()
         self.options.validate()
         self.device = device
         self.backend = VitisHLSBackend(device, clock_mhz)
         self.canonicalize = canonicalize
+        self.pass_pipeline = pass_pipeline
+        #: Per-pass statistics of the most recent compilation.
+        self.pass_statistics: list[PassStatistics] = []
+
+    def default_pipeline(self) -> str:
+        prefix = "canonicalize," if self.canonicalize else ""
+        return f"{prefix}convert-stencil-to-hls,convert-hls-to-llvm"
 
     # -- public API -------------------------------------------------------------
 
@@ -85,34 +125,80 @@ class StencilHMLSCompiler:
         # Work on a copy so the caller keeps the stencil-level module intact.
         working: ModuleOp = stencil_module.clone()
 
-        if self.canonicalize:
-            PassManager([CanonicalizePass()]).run(working)
+        spec = self.pass_pipeline or self.default_pipeline()
+        context = PassContext()
+        context.set(LoweringContext(options=self.options))
+        manager = PassRegistry.parse(spec, context=context)
 
-        # stencil → HLS (the paper's contribution).
-        stencil_to_hls = StencilToHLSPass(self.options)
-        PassManager([stencil_to_hls]).run(working)
-        if not stencil_to_hls.plans:
-            raise ValueError("module contains no stencil kernel to compile")
-        if kernel_name is not None:
-            plan = stencil_to_hls.plans.get(f"{kernel_name}_hls") or stencil_to_hls.plans.get(kernel_name)
-            if plan is None:
-                raise KeyError(f"no kernel named '{kernel_name}' was lowered")
-        else:
-            if len(stencil_to_hls.plans) != 1:
+        # Snapshot the HLS-dialect module right before it is lowered to LLVM
+        # dialect: it is what the functional dataflow simulator executes.  A
+        # convert-hls-to-llvm scheduled *before* the stencil lowering no-ops
+        # on a stencil module — only snapshot once kernels were lowered.
+        snapshots: dict[str, ModuleOp] = {}
+
+        def snapshot_hls(pass_, module) -> None:
+            if isinstance(pass_, HLSToLLVMPass) and "hls" not in snapshots:
+                lowering = context.get(LoweringContext)
+                if lowering is not None and lowering.plans:
+                    snapshots["hls"] = module.clone()
+
+        manager.run(working, on_pass_start=snapshot_hls)
+        self.pass_statistics = list(manager.statistics)
+
+        lowering = context.get(LoweringContext)
+        plans = dict(lowering.plans) if lowering is not None else {}
+        if not plans:
+            missing = lowering.next_missing_stage() if lowering is not None else None
+            if missing is not None:
                 raise ValueError(
-                    "module contains several kernels; pass kernel_name explicitly"
+                    f"pipeline '{spec}' stopped before the stencil lowering "
+                    f"finished: add '{missing}' (and the stages after it), or "
+                    "use 'convert-stencil-to-hls'"
                 )
-            plan = next(iter(stencil_to_hls.plans.values()))
+            if any(True for _ in working.walk_type(stencil.ApplyOp)):
+                raise ValueError(
+                    f"pipeline '{spec}' schedules no stencil lowering stage: "
+                    "add 'convert-stencil-to-hls' (or the stencil-* sub-passes)"
+                )
+            raise ValueError(
+                "module contains no stencil kernel to compile "
+                f"(pipeline: '{spec}')"
+            )
 
-        # Keep the HLS-dialect module for functional dataflow simulation.
-        hls_module: ModuleOp = working.clone()
+        # A plan without AXI bundle assignment synthesises into a nonsense
+        # design (zero ports): complete the pipeline while the HLS-dialect
+        # interface ops are still around, or refuse if they are already gone.
+        if lowering.unbundled_kernels:
+            if "hls" in snapshots:
+                raise ValueError(
+                    "pipeline lowered to LLVM before 'hls-bundle-assignment' "
+                    f"ran for kernel(s) {', '.join(sorted(lowering.unbundled_kernels))}; "
+                    "schedule it before convert-hls-to-llvm"
+                )
+            bundle = PassManager([HLSBundleAssignmentPass()], context=context)
+            bundle.run(working)
+            self.pass_statistics.extend(bundle.statistics)
+            plans = dict(lowering.plans)
 
-        # HLS → annotated LLVM dialect, then f++.
-        PassManager([HLSToLLVMPass()]).run(working)
+        plan = select_plan(plans, kernel_name)
+
+        hls_module = snapshots.get("hls")
+        if any(isinstance(op, hls.DIALECT_OPERATIONS) for op in working.walk()):
+            # The custom pipeline stopped at (or never left) the HLS dialect:
+            # snapshot it and finish the mandatory LLVM lowering implicitly.
+            if hls_module is None:
+                hls_module = working.clone()
+            tail = PassManager([HLSToLLVMPass()], context=context)
+            tail.run(working)
+            self.pass_statistics.extend(tail.statistics)
+        elif hls_module is None:
+            hls_module = working.clone()
+
         fpp_report = run_fpp(working)
 
-        # Vitis-HLS-like synthesis.
-        design = self.backend.synthesise(plan, fpp_report, self.options)
+        # Vitis-HLS-like synthesis.  The plan carries the effective options
+        # (including any per-pass pipeline overrides).
+        design = self.backend.synthesise(plan, fpp_report, plan.options or self.options)
 
         return CompilationArtifacts(
             stencil_module=stencil_module,
@@ -121,4 +207,5 @@ class StencilHMLSCompiler:
             plan=plan,
             fpp_report=fpp_report,
             design=design,
+            pass_statistics=list(self.pass_statistics),
         )

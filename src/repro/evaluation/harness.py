@@ -106,6 +106,9 @@ class EvaluationHarness:
         result.achieved_ii = artifact.achieved_ii
         result.compute_units = artifact.design.compute_units
         result.notes = list(artifact.notes)
+        result.pass_statistics = [
+            stat.as_dict() for stat in getattr(artifact, "pass_statistics", [])
+        ]
 
         try:
             runs = [framework.execute(artifact) for _ in range(max(self.repeats, 1))]

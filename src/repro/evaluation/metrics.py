@@ -42,6 +42,9 @@ class FrameworkResult:
     utilisation: dict[str, float] = field(default_factory=dict)
     error: str = ""
     notes: list[str] = field(default_factory=list)
+    #: Per-pass compilation statistics (name/seconds/changed dicts) for
+    #: pass-based flows; empty for baselines without a pass pipeline.
+    pass_statistics: list[dict[str, Any]] = field(default_factory=list)
 
     @property
     def succeeded(self) -> bool:
@@ -67,6 +70,7 @@ class FrameworkResult:
             "utilisation": self.utilisation,
             "error": self.error,
             "notes": self.notes,
+            "pass_statistics": self.pass_statistics,
         }
 
 

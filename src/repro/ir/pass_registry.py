@@ -1,0 +1,229 @@
+"""Pass registry and MLIR-style textual pipeline-spec parsing.
+
+A pipeline spec is a comma-separated list of pass names, each optionally
+carrying options in braces::
+
+    canonicalize,cse,convert-stencil-to-hls{pack=0},convert-hls-to-llvm
+
+``PassRegistry.parse`` turns such a spec into a ready-to-run
+:class:`~repro.ir.passes.PassManager`; the manager's
+``pipeline_description()`` renders back to a spec that parses to the same
+pipeline (round-trip property, covered by tests).
+
+Passes register under a canonical name plus optional aliases (e.g.
+``convert-hls-to-llvm`` / ``hls-to-llvm``).  The built-in passes of the
+repro are registered lazily on first use of the default registry, keeping
+the IR layer import-independent from the transform layer.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable
+
+from repro.ir.passes import ModulePass, PassContext, PassManager
+
+
+class PipelineParseError(ValueError):
+    """Raised for malformed pipeline specs or unknown passes/options."""
+
+
+# ---------------------------------------------------------------------------
+# Textual spec parsing
+# ---------------------------------------------------------------------------
+
+
+def _parse_value(text: str) -> Any:
+    text = text.strip()
+    lowered = text.lower()
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(text, 0)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def _split_top_level(spec: str) -> list[str]:
+    """Split on commas that are not nested inside ``{...}``."""
+    chunks: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in spec:
+        if ch == "{":
+            depth += 1
+        elif ch == "}":
+            depth -= 1
+            if depth < 0:
+                raise PipelineParseError(f"unbalanced '}}' in pipeline spec: {spec!r}")
+        if ch == "," and depth == 0:
+            chunks.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if depth != 0:
+        raise PipelineParseError(f"unbalanced '{{' in pipeline spec: {spec!r}")
+    chunks.append("".join(current))
+    return [c.strip() for c in chunks if c.strip()]
+
+
+def parse_pipeline_spec(spec: str) -> list[tuple[str, dict[str, Any]]]:
+    """Parse a textual spec into ``(pass name, options)`` entries."""
+    entries: list[tuple[str, dict[str, Any]]] = []
+    for chunk in _split_top_level(spec):
+        options: dict[str, Any] = {}
+        name = chunk
+        if "{" in chunk:
+            if not chunk.endswith("}"):
+                raise PipelineParseError(f"malformed pass entry '{chunk}'")
+            name, _, option_text = chunk.partition("{")
+            option_text = option_text[:-1]
+            name = name.strip()
+            for item in option_text.split(","):
+                item = item.strip()
+                if not item:
+                    continue
+                key, sep, value = item.partition("=")
+                if not sep:
+                    # Bare flag: `{pack}` means `pack=true`.
+                    options[key.strip()] = True
+                    continue
+                options[key.strip()] = _parse_value(value)
+        if not name:
+            raise PipelineParseError(f"empty pass name in pipeline spec: {spec!r}")
+        entries.append((name, options))
+    return entries
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+
+class PassRegistry:
+    """Maps pass names (and aliases) to factories producing pass instances."""
+
+    _default_instance: "PassRegistry | None" = None
+
+    def __init__(self) -> None:
+        self._factories: dict[str, Callable[..., ModulePass]] = {}
+        self._aliases: dict[str, str] = {}
+
+    # -- registration --------------------------------------------------------
+
+    def register(
+        self,
+        name: str,
+        factory: Callable[..., ModulePass],
+        *,
+        aliases: Iterable[str] = (),
+    ) -> None:
+        if name in self._factories:
+            raise ValueError(f"pass '{name}' is already registered")
+        self._factories[name] = factory
+        for alias in aliases:
+            if alias in self._aliases or alias in self._factories:
+                raise ValueError(f"pass alias '{alias}' is already registered")
+            self._aliases[alias] = name
+
+    @property
+    def registered_names(self) -> list[str]:
+        return sorted(self._factories)
+
+    def resolve(self, name: str) -> str:
+        """Canonical name for ``name`` (which may be an alias)."""
+        if name in self._factories:
+            return name
+        if name in self._aliases:
+            return self._aliases[name]
+        raise PipelineParseError(
+            f"unknown pass '{name}' (registered: {', '.join(self.registered_names)})"
+        )
+
+    # -- construction --------------------------------------------------------
+
+    def create(self, name: str, options: dict[str, Any] | None = None) -> ModulePass:
+        factory = self._factories[self.resolve(name)]
+        try:
+            return factory(**(options or {}))
+        except (TypeError, ValueError) as err:
+            raise PipelineParseError(f"cannot build pass '{name}': {err}") from err
+
+    def build_pipeline(
+        self,
+        spec: str,
+        *,
+        context: PassContext | None = None,
+        verify_each: bool = True,
+    ) -> PassManager:
+        passes = [self.create(name, options) for name, options in parse_pipeline_spec(spec)]
+        manager = PassManager(passes, verify_each=verify_each)
+        if context is not None:
+            manager.context = context
+        return manager
+
+    # -- default registry ----------------------------------------------------
+
+    @classmethod
+    def default(cls) -> "PassRegistry":
+        if cls._default_instance is None:
+            registry = cls()
+            _register_builtin_passes(registry)
+            cls._default_instance = registry
+        return cls._default_instance
+
+    @classmethod
+    def parse(
+        cls,
+        spec: str,
+        *,
+        registry: "PassRegistry | None" = None,
+        context: PassContext | None = None,
+        verify_each: bool = True,
+    ) -> PassManager:
+        """Build a :class:`PassManager` from a textual pipeline spec."""
+        registry = registry or cls.default()
+        return registry.build_pipeline(spec, context=context, verify_each=verify_each)
+
+
+def _register_builtin_passes(registry: PassRegistry) -> None:
+    # Imported lazily: the transform layer imports repro.ir, not vice versa.
+    from repro.transforms.canonicalize import CanonicalizePass
+    from repro.transforms.cse import CSEPass
+    from repro.transforms.dce import DCEPass
+    from repro.transforms.hls_to_llvm import HLSToLLVMPass
+    from repro.transforms.stencil_hls import (
+        HLSBundleAssignmentPass,
+        StencilComputeSplitPass,
+        StencilInterfaceLoweringPass,
+        StencilShapeInferencePass,
+        StencilSmallDataBufferingPass,
+        StencilWavePipeliningPass,
+    )
+    from repro.transforms.stencil_to_hls import StencilToHLSPass
+    from repro.transforms.stencil_to_scf import StencilToSCFPass
+
+    registry.register("canonicalize", CanonicalizePass)
+    registry.register("cse", CSEPass)
+    registry.register("dce", DCEPass)
+    registry.register(
+        "convert-stencil-to-hls", StencilToHLSPass, aliases=("stencil-to-hls",)
+    )
+    registry.register(
+        "convert-hls-to-llvm", HLSToLLVMPass, aliases=("hls-to-llvm",)
+    )
+    registry.register(
+        "convert-stencil-to-scf", StencilToSCFPass, aliases=("stencil-to-scf",)
+    )
+    registry.register("stencil-shape-inference", StencilShapeInferencePass)
+    registry.register("stencil-interface-lowering", StencilInterfaceLoweringPass)
+    registry.register("stencil-small-data-buffering", StencilSmallDataBufferingPass)
+    registry.register("stencil-wave-pipelining", StencilWavePipeliningPass)
+    registry.register("stencil-compute-split", StencilComputeSplitPass)
+    registry.register("hls-bundle-assignment", HLSBundleAssignmentPass)

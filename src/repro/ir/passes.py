@@ -1,13 +1,49 @@
-"""Module passes and the pass manager driving the compilation pipeline."""
+"""Module passes, the pass manager and the typed pass context.
+
+The :class:`PassManager` drives a sequence of :class:`ModulePass` objects
+over a module, verifying in between and recording per-pass
+:class:`PassStatistics`.  Passes communicate through a :class:`PassContext`
+— a typed blackboard carried on the pass manager and injected into every
+pass as ``pass_.ctx`` before it runs — which is how the staged stencil→HLS
+lowering threads its ``LoweringContext`` between sub-passes.
+"""
 
 from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Sequence
+from typing import Any, Callable, Sequence, TypeVar
 
 from repro.ir.core import Operation, VerifyException
 from repro.ir.verifier import verify_module
+
+T = TypeVar("T")
+
+
+class PassContext:
+    """Typed blackboard shared by the passes of one pipeline.
+
+    Entries are keyed by their type: at most one value per type is stored.
+    ``get``/``set``/``get_or_create`` deliberately mirror MLIR's analysis
+    manager in miniature.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[type, Any] = {}
+
+    def get(self, cls: type[T]) -> T | None:
+        return self._entries.get(cls)
+
+    def set(self, value: T) -> T:
+        self._entries[type(value)] = value
+        return value
+
+
+def format_option_value(value: Any) -> str:
+    """Render one pipeline option value in MLIR textual-spec form."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    return str(value)
 
 
 @dataclass
@@ -19,15 +55,43 @@ class PassStatistics:
     changed: bool
     note: str = ""
 
+    def as_dict(self) -> dict[str, Any]:
+        entry: dict[str, Any] = {
+            "name": self.name,
+            "seconds": self.seconds,
+            "changed": self.changed,
+        }
+        if self.note:
+            entry["note"] = self.note
+        return entry
+
 
 class ModulePass:
     """A transformation over a whole module (a ``builtin.module`` op)."""
 
     name: str = "unnamed-pass"
 
+    #: The pass context of the driving pass manager; injected by
+    #: :meth:`PassManager.run` right before ``apply`` is called.
+    ctx: "PassContext | None" = None
+
     def apply(self, module: Operation) -> bool:
         """Transform ``module`` in place; return whether anything changed."""
         raise NotImplementedError
+
+    def pipeline_options(self) -> dict[str, Any]:
+        """Options to render in the textual pipeline description."""
+        return {}
+
+    def describe(self) -> str:
+        """This pass as one entry of a textual pipeline spec."""
+        options = self.pipeline_options()
+        if not options:
+            return self.name
+        rendered = ",".join(
+            f"{key}={format_option_value(value)}" for key, value in options.items()
+        )
+        return f"{self.name}{{{rendered}}}"
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<ModulePass {self.name}>"
@@ -56,19 +120,27 @@ class PassManager:
     passes: list[ModulePass] = field(default_factory=list)
     verify_each: bool = True
     statistics: list[PassStatistics] = field(default_factory=list)
+    context: PassContext = field(default_factory=PassContext)
 
     def add(self, *passes: ModulePass) -> "PassManager":
         self.passes.extend(passes)
         return self
 
-    def run(self, module: Operation) -> Operation:
+    def run(
+        self,
+        module: Operation,
+        on_pass_start: Callable[[ModulePass, Operation], None] | None = None,
+    ) -> Operation:
         if self.verify_each:
             verify_module(module)
         for pass_ in self.passes:
+            if on_pass_start is not None:
+                on_pass_start(pass_, module)
+            pass_.ctx = self.context
             start = time.perf_counter()
             changed = pass_.apply(module)
             elapsed = time.perf_counter() - start
-            self.statistics.append(PassStatistics(pass_.name, elapsed, bool(changed)))
+            self.statistics.append(PassStatistics(pass_.describe(), elapsed, bool(changed)))
             if self.verify_each:
                 try:
                     verify_module(module)
@@ -79,4 +151,4 @@ class PassManager:
         return module
 
     def pipeline_description(self) -> str:
-        return ",".join(p.name for p in self.passes)
+        return ",".join(p.describe() for p in self.passes)

@@ -1,0 +1,50 @@
+"""The staged stencil→HLS lowering (§3.3) as discrete, composable passes.
+
+See :mod:`repro.transforms.stencil_hls.context` for the stage breakdown and
+``docs/architecture.md`` for how the stages map onto the paper's nine
+automatic optimisation steps.  :func:`build_stencil_to_hls_pipeline`
+returns the canonical ordering; the thin
+:class:`repro.transforms.stencil_to_hls.StencilToHLSPass` composite runs
+exactly this list.
+"""
+
+from __future__ import annotations
+
+from repro.transforms.stencil_hls.bundle_assignment import HLSBundleAssignmentPass
+from repro.transforms.stencil_hls.compute_split import StencilComputeSplitPass
+from repro.transforms.stencil_hls.context import (
+    KernelLoweringState,
+    LoweringContext,
+    StencilLoweringPass,
+    WaveState,
+)
+from repro.transforms.stencil_hls.interface_lowering import StencilInterfaceLoweringPass
+from repro.transforms.stencil_hls.shape_inference import StencilShapeInferencePass
+from repro.transforms.stencil_hls.small_data import StencilSmallDataBufferingPass
+from repro.transforms.stencil_hls.wave_pipelining import StencilWavePipeliningPass
+
+__all__ = [
+    "HLSBundleAssignmentPass",
+    "KernelLoweringState",
+    "LoweringContext",
+    "StencilComputeSplitPass",
+    "StencilInterfaceLoweringPass",
+    "StencilLoweringPass",
+    "StencilShapeInferencePass",
+    "StencilSmallDataBufferingPass",
+    "StencilWavePipeliningPass",
+    "WaveState",
+    "build_stencil_to_hls_pipeline",
+]
+
+
+def build_stencil_to_hls_pipeline() -> list[StencilLoweringPass]:
+    """The canonical sub-pass ordering of the stencil→HLS lowering."""
+    return [
+        StencilShapeInferencePass(),
+        StencilInterfaceLoweringPass(),
+        StencilSmallDataBufferingPass(),
+        StencilWavePipeliningPass(),
+        StencilComputeSplitPass(),
+        HLSBundleAssignmentPass(),
+    ]

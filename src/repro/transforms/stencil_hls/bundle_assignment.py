@@ -1,0 +1,89 @@
+"""Stage 6: assign every kernel argument to its AXI interface bundle.
+
+Step 9 of §3.3: each input/output field argument gets its own ``m_axi``
+bundle (and therefore its own HBM bank) to maximise external bandwidth;
+small constant data shares a single bundle to avoid wasting ports; scalars
+go over the ``s_axilite`` control interface.  With
+``separate_bundles=False`` (ablation A3) all fields share one bundle.
+
+The pass rewrites the ``bundle`` attribute of the ``hls.interface`` ops
+emitted by ``stencil-interface-lowering`` and records the final
+:class:`~repro.core.plan.InterfaceSpec` list on the dataflow plan, which is
+what the synthesis and HBM allocation models consume.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import InterfaceSpec
+from repro.dialects import hls
+from repro.ir.attributes import StringAttr
+from repro.transforms.stencil_hls.context import (
+    PHASE_BUNDLED,
+    PHASE_COMPUTED,
+    StencilLoweringPass,
+    require_any_ready,
+)
+
+
+class HLSBundleAssignmentPass(StencilLoweringPass):
+    """Finalise AXI bundle assignment and the plan's interface specs."""
+
+    name = "hls-bundle-assignment"
+    requires_phase = PHASE_COMPUTED
+    produces_phase = PHASE_BUNDLED
+
+    def apply(self, module) -> bool:
+        lowering = self.lowering_context()
+        require_any_ready(self, lowering)
+        changed = False
+        for state in self.ready_kernels(lowering):
+            self._assign(state)
+            changed = True
+        return changed
+
+    def _assign(self, state) -> None:
+        options = state.options
+        interface_by_arg = {
+            op.argument: op for op in state.kernel_func.walk_type(hls.InterfaceOp)
+        }
+        if state.analysis.arguments and not interface_by_arg:
+            # Interface lowering always emits one hls.interface per argument;
+            # they only vanish when convert-hls-to-llvm already rewrote them.
+            # Assigning bundles now would leave the IR with placeholder
+            # bundles while the plan reports the real ones.
+            raise ValueError(
+                f"hls-bundle-assignment: kernel '{state.kernel_name}' has no "
+                "hls.interface ops left to rewrite; schedule this pass before "
+                "convert-hls-to-llvm"
+            )
+        for info in state.analysis.arguments:
+            arg = state.args_by_name[info.name]
+            if info.is_field:
+                bundle = f"gmem_{info.name}" if options.separate_bundles else "gmem0"
+                protocol = "m_axi"
+                direction = "out" if info.kind == "field_output" else "in"
+                packed = state.lanes
+            elif info.kind == "small_data":
+                bundle = "gmem_small" if options.bundle_small_data else f"gmem_{info.name}"
+                protocol = "m_axi"
+                direction = "in"
+                packed = 1
+            else:
+                bundle = "control"
+                protocol = "s_axilite"
+                direction = "in"
+                packed = 1
+            interface_op = interface_by_arg.get(arg)
+            if interface_op is not None:
+                interface_op.attributes["bundle"] = StringAttr(bundle)
+            state.plan.interfaces.append(
+                InterfaceSpec(
+                    arg_name=info.name,
+                    bundle=bundle,
+                    protocol=protocol,
+                    direction=direction,
+                    is_small_data=(info.kind == "small_data"),
+                    packed_lanes=packed,
+                    element_bits=info.element_bits,
+                )
+            )

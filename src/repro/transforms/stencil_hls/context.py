@@ -1,0 +1,344 @@
+"""Shared lowering state threaded through the stencil→HLS sub-passes.
+
+The staged lowering decomposes the paper's nine automatic optimisation
+steps (§3.3) into six discrete passes:
+
+1. ``stencil-shape-inference``       — step 1 + structural analysis
+2. ``stencil-interface-lowering``    — step 2 (packed interface types)
+3. ``stencil-small-data-buffering``  — step 8 (BRAM copies of small data)
+4. ``stencil-wave-pipelining``       — steps 3 and 7 (streams, load, shift,
+                                       duplicate stages, per dependency wave)
+5. ``stencil-compute-split``         — steps 4–6 (per-field compute stages,
+                                       offset→window-lane mapping, write)
+6. ``hls-bundle-assignment``         — step 9 (AXI bundle assignment)
+
+The passes communicate exclusively through a :class:`LoweringContext`
+stored in the driving :class:`~repro.ir.passes.PassContext`; each kernel's
+progress is tracked by an explicit phase counter so passes are idempotent
+and report a clear error when run out of order.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+
+from repro.core.config import (
+    CompilerOptions,
+    resolve_option_field,
+    resolve_option_overrides,
+)
+from repro.core.plan import DataflowPlan, DuplicateSpec, LoadSpec, ShiftSpec
+from repro.dialects.func import FuncOp
+from repro.ir.core import Block, Operation, SSAValue
+from repro.ir.passes import ModulePass, PassContext
+from repro.transforms.stencil_analysis import StencilKernelAnalysis
+
+# Ordered lowering phases; each sub-pass advances kernels one step.
+PHASE_ANALYSED = 1
+PHASE_INTERFACED = 2
+PHASE_BUFFERED = 3
+PHASE_PIPELINED = 4
+PHASE_COMPUTED = 5
+PHASE_BUNDLED = 6
+
+_PHASE_HINTS = {
+    PHASE_ANALYSED: "stencil-shape-inference",
+    PHASE_INTERFACED: "stencil-interface-lowering",
+    PHASE_BUFFERED: "stencil-small-data-buffering",
+    PHASE_PIPELINED: "stencil-wave-pipelining",
+    PHASE_COMPUTED: "stencil-compute-split",
+    PHASE_BUNDLED: "hls-bundle-assignment",
+}
+
+#: Earliest phase at which each CompilerOptions field takes effect.  A
+#: per-sub-pass override (``stencil-wave-pipelining{split=0}``) is only legal
+#: on a pass that runs no later than the option's earliest consumer —
+#: otherwise an earlier stage already baked the old value into the IR/plan
+#: and the ablation would be silently inconsistent.  Fields not listed are
+#: consumed at synthesis time and may be set by any stage.
+_OPTION_CONSUMER_PHASE = {
+    "pack_interfaces": PHASE_INTERFACED,
+    "interface_width_bits": PHASE_INTERFACED,
+    "target_ii": PHASE_INTERFACED,
+    "copy_small_data_to_bram": PHASE_BUFFERED,
+    "split_compute_per_field": PHASE_PIPELINED,
+    "stream_depth": PHASE_PIPELINED,
+    "separate_bundles": PHASE_BUNDLED,
+    "bundle_small_data": PHASE_BUNDLED,
+}
+
+
+@dataclass
+class WaveState:
+    """Per-wave state produced by wave pipelining, consumed by compute split."""
+
+    index: int
+    stage_indices: list[int]
+    input_fields: list[str]
+    #: field name → stages of this wave consuming it
+    consumers: dict[str, list] = field(default_factory=dict)
+    field_radius: dict[str, int] = field(default_factory=dict)
+    #: (stage index, field name) → window stream feeding that stage
+    stage_window_stream: dict[tuple[int, str], SSAValue] = field(default_factory=dict)
+    load: LoadSpec | None = None
+    shifts: list[ShiftSpec] = field(default_factory=list)
+    duplicates: list[DuplicateSpec] = field(default_factory=list)
+    #: Last movement-stage op emitted for this wave: compute/write stages are
+    #: inserted *here* (not appended) so the per-wave program order of the
+    #: monolithic lowering — which the functional dataflow simulator relies
+    #: on for chained waves — is preserved exactly.
+    anchor: Operation | None = None
+
+
+@dataclass
+class KernelLoweringState:
+    """Everything the sub-passes accumulate while lowering one kernel."""
+
+    kernel_name: str
+    source_func: FuncOp
+    analysis: StencilKernelAnalysis
+    options: CompilerOptions
+    plan: DataflowPlan
+    phase: int = PHASE_ANALYSED
+    #: Names of the sub-passes that actually processed this kernel; lets the
+    #: ordering checks tell an idempotent re-run apart from a stage that was
+    #: scheduled after its window already passed.
+    completed: set[str] = field(default_factory=set)
+    waves: list[list[int]] = field(default_factory=list)
+    kernel_func: FuncOp | None = None
+    args_by_name: dict[str, SSAValue] = field(default_factory=dict)
+    lanes: int = 1
+    declared: set[str] = field(default_factory=set)
+    local_copies: dict[tuple[str, int], SSAValue] = field(default_factory=dict)
+    wave_states: list[WaveState] = field(default_factory=list)
+
+    def declare(self, module, callee: str) -> None:
+        """Add one runtime-function declaration per callee to the module."""
+        if callee in self.declared:
+            return
+        module.add_op(FuncOp.declaration(callee, [], []))
+        self.declared.add(callee)
+
+    @property
+    def entry_block(self) -> Block:
+        assert self.kernel_func is not None, "interface lowering has not run"
+        return self.kernel_func.entry_block
+
+
+@dataclass
+class LoweringContext:
+    """The typed blackboard shared by all stencil→HLS sub-passes."""
+
+    options: CompilerOptions = field(default_factory=CompilerOptions)
+    #: generated kernel name (``<func>_hls``) → per-kernel lowering state
+    kernels: dict[str, KernelLoweringState] = field(default_factory=dict)
+
+    @property
+    def plans(self) -> dict[str, DataflowPlan]:
+        """Dataflow plans of every fully-lowered kernel."""
+        return {
+            name: state.plan
+            for name, state in self.kernels.items()
+            if state.phase >= PHASE_COMPUTED
+        }
+
+    def next_missing_stage(self) -> str | None:
+        """The sub-pass a stalled pipeline forgot, if any.
+
+        Kernels below ``PHASE_COMPUTED`` have no plan yet; the hint names
+        the pass producing the earliest phase a stalled kernel is missing.
+        """
+        stalled = [
+            state.phase
+            for state in self.kernels.values()
+            if state.phase < PHASE_COMPUTED
+        ]
+        if not stalled:
+            return None
+        return _PHASE_HINTS[min(stalled) + 1]
+
+    @property
+    def unbundled_kernels(self) -> list[str]:
+        """Lowered kernels still waiting for ``hls-bundle-assignment``.
+
+        A plan without interface specs synthesises into a nonsense design
+        (zero AXI ports); the compiler refuses or completes such pipelines.
+        """
+        return [
+            name
+            for name, state in self.kernels.items()
+            if state.phase == PHASE_COMPUTED
+        ]
+
+
+class StencilLoweringPass(ModulePass):
+    """Base class of the staged stencil→HLS sub-passes.
+
+    Handles context resolution and per-pass option overrides: a sub-pass may
+    be created with an explicit :class:`CompilerOptions` or with keyword
+    overrides parsed from a pipeline spec (``stencil-wave-pipelining{split=0}``);
+    overrides are applied to the per-kernel effective options (and the plan)
+    at the point the pass runs.
+    """
+
+    #: Phase a kernel must be in for this pass to process it …
+    requires_phase: int = PHASE_ANALYSED
+    #: … and the phase it is advanced to afterwards.
+    produces_phase: int = PHASE_ANALYSED
+    #: Additional phases this pass accepts kernels from, for optional
+    #: stages that may be omitted from the pipeline (e.g. skipping
+    #: ``stencil-small-data-buffering`` is the no-BRAM-copy ablation).
+    also_accepts: tuple[int, ...] = ()
+
+    def __init__(self, options: CompilerOptions | None = None, **overrides) -> None:
+        if options is not None:
+            options.validate()
+        self.options = options
+        self.overrides = dict(overrides)
+
+    def pipeline_options(self) -> dict:
+        return dict(self.overrides)
+
+    def lowering_context(self) -> LoweringContext:
+        """The shared :class:`LoweringContext`, created on first use."""
+        ctx = self.ctx if self.ctx is not None else PassContext()
+        self.ctx = ctx
+        lowering = ctx.get(LoweringContext)
+        if lowering is None:
+            lowering = LoweringContext(options=self.options or CompilerOptions())
+            ctx.set(lowering)
+        return lowering
+
+    def apply_global_overrides(self, lowering: LoweringContext) -> None:
+        """Fold this pass's options/overrides into the context-wide options.
+
+        Used by the stages that run before any lowering work happens (the
+        composite pass and shape inference), where every option is still
+        free to change.  Kernels whose state was already seeded by an
+        earlier shape inference are updated too — as long as no lowering
+        stage has consumed their options yet; afterwards a mismatch is an
+        error, never a silent drop.
+        """
+        if self.options is not None:
+            lowering.options = self.options
+        if self.overrides:
+            lowering.options = resolve_option_overrides(lowering.options, self.overrides)
+        lowering.options.validate()
+        for state in lowering.kernels.values():
+            if state.options == lowering.options:
+                continue
+            if state.phase == PHASE_ANALYSED:
+                # Shape inference is option-independent: re-seed freely.
+                state.options = lowering.options
+                state.plan.options = lowering.options
+            else:
+                raise ValueError(
+                    f"pass '{self.name}': kernel '{state.kernel_name}' was "
+                    "already lowered past shape inference with different "
+                    "options; schedule option overrides before the lowering "
+                    "stages"
+                )
+
+    def accepted_phases(self) -> tuple[int, ...]:
+        return (self.requires_phase, *self.also_accepts)
+
+    def check_override_timing(self) -> None:
+        """Reject overrides of options an earlier stage already consumed."""
+        for key in self.overrides:
+            self._check_field_timing(resolve_option_field(key), key)
+
+    def _check_field_timing(self, field_name: str, key: str) -> None:
+        consumer = _OPTION_CONSUMER_PHASE.get(field_name)
+        if consumer is not None and consumer < self.produces_phase:
+            raise ValueError(
+                f"option '{key}' on pass '{self.name}' comes too late: "
+                f"'{_PHASE_HINTS[consumer]}' already consumed "
+                f"{field_name!r}; set it on that pass (or on "
+                "stencil-shape-inference / convert-stencil-to-hls)"
+            )
+
+    def ready_kernels(self, lowering: LoweringContext):
+        """Yield kernels waiting for this pass; advance their phase after."""
+        self.check_override_timing()
+        for state in lowering.kernels.values():
+            if state.phase not in self.accepted_phases():
+                continue
+            if self.options is not None or self.overrides:
+                base = self.options or state.options
+                resolved = resolve_option_overrides(base, self.overrides)
+                # An explicit CompilerOptions object can smuggle in changes
+                # the alias-keyed check above never sees: verify every field
+                # that actually differs from the kernel's effective options.
+                for options_field in dataclasses.fields(CompilerOptions):
+                    if getattr(resolved, options_field.name) != getattr(
+                        state.options, options_field.name
+                    ):
+                        self._check_field_timing(options_field.name, options_field.name)
+                state.options = resolved
+                state.plan.options = resolved
+            yield state
+            state.phase = self.produces_phase
+            state.completed.add(self.name)
+
+
+def require_any_ready(pass_: StencilLoweringPass, lowering: LoweringContext) -> bool:
+    """Sanity check for out-of-order pipelines.
+
+    Returns True when the pass has (or already had) work: some kernel is at
+    a phase it accepts, or it processed the kernel in an earlier run
+    (idempotent re-runs are fine).  Raises a readable error when the spec
+    scheduled this pass too early (an earlier stage is missing) or too late
+    (its window already passed without it ever running) instead of silently
+    doing nothing.
+    """
+    if not lowering.kernels:
+        return False
+    accepted = pass_.accepted_phases()
+    latest = max(accepted)
+    any_ready = False
+    for state in lowering.kernels.values():
+        if state.phase in accepted or pass_.name in state.completed:
+            any_ready = True
+        elif state.phase > latest:
+            raise ValueError(
+                f"pass '{pass_.name}' is scheduled too late: kernel "
+                f"'{state.kernel_name}' is already past that stage; move the "
+                "pass earlier in the pipeline spec"
+            )
+    if any_ready:
+        return True
+    missing = _PHASE_HINTS.get(min(accepted), "an earlier stage")
+    raise ValueError(
+        f"pass '{pass_.name}' needs kernels lowered through '{missing}'; "
+        "fix the pass ordering in the pipeline spec"
+    )
+
+
+def insert_before_terminator(block: Block, ops) -> None:
+    """Insert ``ops`` (in order) right before the block terminator."""
+    if isinstance(ops, Operation):
+        ops = [ops]
+    terminator = block.terminator
+    for op in ops:
+        if terminator is not None:
+            block.insert_op_before(op, terminator)
+        else:
+            block.add_op(op)
+
+
+class InsertionCursor:
+    """Inserts a growing sequence of ops after a moving anchor."""
+
+    def __init__(self, block: Block, anchor: Operation) -> None:
+        self.block = block
+        self.anchor = anchor
+
+    def insert(self, op: Operation) -> Operation:
+        self.block.insert_op_after(op, self.anchor)
+        self.anchor = op
+        return op
+
+    def insert_all(self, ops) -> None:
+        for op in ops:
+            self.insert(op)

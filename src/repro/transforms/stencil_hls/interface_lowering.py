@@ -1,0 +1,94 @@
+"""Stage 2: build the HLS kernel function with packed interface types.
+
+Step 2 of §3.3: field arguments become pointers to 512-bit packed vectors
+(eight f64 lanes on the evaluated devices) so one external-memory beat moves
+a full bus width; small data and scalars keep their addressable types.  The
+pass creates the ``<kernel>_hls`` function next to the original stencil
+function, emits one ``hls.interface`` op per argument (the actual AXI
+bundle names are assigned by ``hls-bundle-assignment`` at the end of the
+pipeline) and terminates the body, leaving the original function in place —
+its stencil apply bodies are consumed later by ``stencil-compute-split``.
+"""
+
+from __future__ import annotations
+
+from repro.dialects import hls
+from repro.dialects.func import FuncOp, ReturnOp
+from repro.ir.attributes import IntAttr, UnitAttr
+from repro.ir.types import LLVMPointerType, f64, packed_interface_type
+from repro.transforms.stencil_hls.context import (
+    PHASE_ANALYSED,
+    PHASE_INTERFACED,
+    StencilLoweringPass,
+    require_any_ready,
+)
+
+
+class StencilInterfaceLoweringPass(StencilLoweringPass):
+    """Create the HLS kernel skeleton with packed external interfaces."""
+
+    name = "stencil-interface-lowering"
+    requires_phase = PHASE_ANALYSED
+    produces_phase = PHASE_INTERFACED
+
+    def apply(self, module) -> bool:
+        lowering = self.lowering_context()
+        require_any_ready(self, lowering)
+        changed = False
+        for state in self.ready_kernels(lowering):
+            self._build_kernel(state)
+            changed = True
+        return changed
+
+    def _build_kernel(self, state) -> None:
+        options = state.options
+        analysis = state.analysis
+        func = state.source_func
+
+        lanes = 1
+        if options.pack_interfaces:
+            lanes = options.interface_width_bits // 64
+        new_arg_types = []
+        for arg_info, old_arg in zip(analysis.arguments, func.entry_block.args):
+            if arg_info.is_field:
+                if options.pack_interfaces:
+                    new_arg_types.append(
+                        LLVMPointerType(packed_interface_type(f64, options.interface_width_bits))
+                    )
+                else:
+                    new_arg_types.append(LLVMPointerType(f64))
+            else:
+                new_arg_types.append(old_arg.type)
+
+        new_func = FuncOp.with_body(
+            state.kernel_name,
+            new_arg_types,
+            [],
+            attributes={
+                "hls.kernel": UnitAttr(),
+                "hls.target_ii": IntAttr(options.target_ii),
+            },
+        )
+        for new_arg, arg_info in zip(new_func.entry_block.args, analysis.arguments):
+            new_arg.name_hint = arg_info.name
+
+        state.kernel_func = new_func
+        state.lanes = lanes
+        state.args_by_name = {
+            info.name: arg
+            for info, arg in zip(analysis.arguments, new_func.entry_block.args)
+        }
+
+        body = new_func.entry_block
+        for info in analysis.arguments:
+            arg = state.args_by_name[info.name]
+            if info.is_field or info.kind == "small_data":
+                protocol, bundle = "m_axi", "gmem0"
+            else:
+                protocol, bundle = "s_axilite", "control"
+            body.add_op(hls.InterfaceOp(arg, protocol, bundle))
+        body.add_op(ReturnOp())
+
+        parent = func.parent
+        assert parent is not None
+        parent.insert_op_after(new_func, func)

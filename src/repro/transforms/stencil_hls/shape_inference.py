@@ -1,0 +1,56 @@
+"""Stage 1: argument classification and structural shape inference.
+
+Runs :func:`repro.transforms.stencil_analysis.analyse_stencil_function` on
+every stencil kernel of the module (step 1 of §3.3: classify arguments into
+field inputs / field outputs / constants, infer rank, grid shape and domain
+bounds, per-access offsets and inter-stencil dependencies) and groups the
+stencil stages into topological dependency waves.  The result seeds a
+:class:`~repro.transforms.stencil_hls.context.KernelLoweringState` in the
+shared :class:`~repro.transforms.stencil_hls.context.LoweringContext`; the
+IR itself is left untouched.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import DataflowPlan
+from repro.dialects import stencil
+from repro.dialects.func import FuncOp
+from repro.transforms.stencil_analysis import analyse_stencil_function
+from repro.transforms.stencil_hls.context import (
+    KernelLoweringState,
+    StencilLoweringPass,
+)
+
+
+class StencilShapeInferencePass(StencilLoweringPass):
+    """Analyse every stencil kernel and record its lowering state."""
+
+    name = "stencil-shape-inference"
+
+    def apply(self, module) -> bool:
+        lowering = self.lowering_context()
+        self.apply_global_overrides(lowering)
+        for func in list(module.walk_type(FuncOp)):
+            if func.is_declaration:
+                continue
+            if not any(True for _ in func.walk_type(stencil.ApplyOp)):
+                continue
+            kernel_name = f"{func.sym_name}_hls"
+            if kernel_name in lowering.kernels:
+                continue
+            analysis = analyse_stencil_function(func)
+            state = KernelLoweringState(
+                kernel_name=kernel_name,
+                source_func=func,
+                analysis=analysis,
+                options=lowering.options,
+                plan=DataflowPlan(
+                    kernel_name=kernel_name,
+                    analysis=analysis,
+                    options=lowering.options,
+                ),
+            )
+            state.waves = analysis.dependency_waves()
+            lowering.kernels[kernel_name] = state
+        # Pure analysis: the module is never modified.
+        return False

@@ -1,0 +1,98 @@
+"""Stage 3: copy small constant data into on-chip BRAM/URAM.
+
+Step 8 of §3.3: small constant arrays (vertical profiles etc.) are copied
+from external memory into local BRAM once at kernel start, with one private
+copy per consuming compute stage so the concurrent dataflow stages never
+contend for a port.  The copy loops are pipelined at II=1 and the local
+arrays are cyclically partitioned.  Omitting this pass from the pipeline is
+the `copy_small_data_to_bram=False` ablation.
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import SmallDataCopySpec
+from repro.dialects import arith, hls, memref as memref_d, scf
+from repro.ir.core import Block, SSAValue
+from repro.ir.types import MemRefType
+from repro.transforms.stencil_hls.context import (
+    PHASE_BUFFERED,
+    PHASE_INTERFACED,
+    StencilLoweringPass,
+    insert_before_terminator,
+    require_any_ready,
+)
+
+
+class StencilSmallDataBufferingPass(StencilLoweringPass):
+    """Emit per-stage BRAM copies of small constant data."""
+
+    name = "stencil-small-data-buffering"
+    requires_phase = PHASE_INTERFACED
+    produces_phase = PHASE_BUFFERED
+
+    def apply(self, module) -> bool:
+        lowering = self.lowering_context()
+        require_any_ready(self, lowering)
+        changed = False
+        for state in self.ready_kernels(lowering):
+            if not state.options.copy_small_data_to_bram:
+                continue
+            changed |= self._emit_copies(state)
+        return changed
+
+    def _emit_copies(self, state) -> bool:
+        analysis = state.analysis
+        body = state.entry_block
+        changed = False
+        small_by_name = {info.name: info for info in analysis.small_data}
+        for stage in analysis.stages:
+            for arg_name in stage.small_data:
+                info = small_by_name.get(arg_name)
+                if info is None:
+                    continue
+                arg = state.args_by_name[arg_name]
+                if not isinstance(arg.type, MemRefType):
+                    continue
+                local = memref_d.AllocaOp(arg.type)
+                local.result.name_hint = f"{arg_name}_local_{stage.index}"
+                insert_before_terminator(body, local)
+                insert_before_terminator(
+                    body, hls.ArrayPartitionOp(local.result, kind="cyclic", factor=2)
+                )
+                self._emit_copy_loop(body, arg, local.result, info.num_elements, arg.type)
+                state.local_copies[(arg_name, stage.index)] = local.result
+                state.plan.small_copies.append(
+                    SmallDataCopySpec(
+                        arg_name=arg_name,
+                        stage_label=f"compute_{stage.index}",
+                        elements=info.num_elements,
+                        element_bits=info.element_bits,
+                    )
+                )
+                changed = True
+        return changed
+
+    def _emit_copy_loop(
+        self,
+        body: Block,
+        source: SSAValue,
+        target: SSAValue,
+        count: int,
+        memref_type: MemRefType,
+    ) -> None:
+        if memref_type.rank != 1:
+            # Multi-dimensional small data: copy element count along dim 0 only
+            # (our kernels only use 1-D profile arrays).
+            count = memref_type.shape[0]
+        zero = arith.ConstantOp.from_index(0)
+        upper = arith.ConstantOp.from_index(count)
+        one = arith.ConstantOp.from_index(1)
+        insert_before_terminator(body, [zero, upper, one])
+        loop = scf.ForOp(zero.result, upper.result, one.result)
+        insert_before_terminator(body, loop)
+        loop_body = loop.body
+        loop_body.add_op(hls.PipelineOp(1))
+        load = memref_d.LoadOp(source, [loop.induction_variable])
+        loop_body.add_op(load)
+        loop_body.add_op(memref_d.StoreOp(load.result, target, [loop.induction_variable]))
+        loop_body.add_op(scf.YieldOp())

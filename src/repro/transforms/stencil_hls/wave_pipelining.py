@@ -1,0 +1,223 @@
+"""Stage 4: per-wave data-movement pipeline (streams, load, shift, duplicate).
+
+Steps 3 and 7 of §3.3: direct external-memory accesses are replaced by
+streams — one specialised ``load_data`` stage per dependency wave feeds a
+``shift_buffer`` stage per input field, whose window stream is duplicated
+once per consuming compute stage.  Kernels whose stencil stages depend on
+each other (the tracer advection case) are emitted as a sequence of
+dependency *waves*; stages within a wave run concurrently, waves run
+back-to-back.
+
+This pass emits only the data-movement stages and records a
+:class:`~repro.transforms.stencil_hls.context.WaveState` per wave
+(including the insertion anchor at which ``stencil-compute-split`` later
+interleaves the compute and write stages, preserving the program order the
+functional dataflow simulator relies on).
+"""
+
+from __future__ import annotations
+
+from repro.core.plan import DuplicateSpec, LoadSpec, ShiftSpec, StreamSpec
+from repro.dialects import hls
+from repro.dialects.func import CallOp
+from repro.ir.core import SSAValue
+from repro.ir.types import LLVMArrayType, f64
+from repro.runtime.window import window_offsets, window_size
+from repro.transforms.stencil_hls.context import (
+    PHASE_BUFFERED,
+    PHASE_INTERFACED,
+    PHASE_PIPELINED,
+    StencilLoweringPass,
+    WaveState,
+    insert_before_terminator,
+    require_any_ready,
+)
+
+
+class StencilWavePipeliningPass(StencilLoweringPass):
+    """Emit the load/shift/duplicate dataflow stages of every wave."""
+
+    name = "stencil-wave-pipelining"
+    requires_phase = PHASE_BUFFERED
+    produces_phase = PHASE_PIPELINED
+    # Small-data buffering is an optional stage: omitting it from the
+    # pipeline is the no-BRAM-copy ablation.
+    also_accepts = (PHASE_INTERFACED,)
+
+    def apply(self, module) -> bool:
+        lowering = self.lowering_context()
+        require_any_ready(self, lowering)
+        changed = False
+        for state in self.ready_kernels(lowering):
+            for wave_index, stage_indices in enumerate(state.waves):
+                wave = self._emit_wave_movement(module, state, wave_index, stage_indices)
+                state.wave_states.append(wave)
+            changed = True
+        return changed
+
+    def _emit_wave_movement(self, module, state, wave_index: int, stage_indices) -> WaveState:
+        options = state.options
+        analysis = state.analysis
+        body = state.entry_block
+        lanes = state.lanes
+        rank = analysis.rank
+        arg_info_by_name = {a.name: a for a in analysis.arguments}
+        stages = [analysis.stages[i] for i in stage_indices]
+
+        last_emitted = None
+
+        def emit(op):
+            nonlocal last_emitted
+            insert_before_terminator(body, op)
+            last_emitted = op
+            return op
+
+        # Which fields does this wave read, and which stages consume each?
+        input_fields: list[str] = []
+        consumers: dict[str, list] = {}
+        for stage in stages:
+            for field_name in stage.input_fields:
+                if field_name not in input_fields:
+                    input_fields.append(field_name)
+                consumers.setdefault(field_name, []).append(stage)
+
+        wave = WaveState(
+            index=wave_index,
+            stage_indices=list(stage_indices),
+            input_fields=input_fields,
+            consumers=consumers,
+        )
+
+        # ------------------------------------------------------------- step 3
+        # Raw input streams + the (specialised) load_data stage (step 7).
+        in_streams: dict[str, SSAValue] = {}
+        packed_type = LLVMArrayType(lanes, f64) if lanes > 1 else f64
+        for field_name in input_fields:
+            create = hls.CreateStreamOp(
+                packed_type, depth=options.stream_depth,
+                name_hint=f"{field_name}_in_w{wave_index}",
+            )
+            emit(create)
+            in_streams[field_name] = create.result
+            state.plan.streams.append(
+                StreamSpec(
+                    name=f"{field_name}_in_w{wave_index}",
+                    kind="raw_in",
+                    element_bits=64 * lanes,
+                    depth=options.stream_depth,
+                    producer=f"load_data_w{wave_index}",
+                    consumer=f"shift_buffer_{field_name}_w{wave_index}",
+                )
+            )
+
+        load_callee = f"load_data_w{wave_index}"
+        state.declare(module, load_callee)
+        load_region = hls.DataflowOp(label=f"load_w{wave_index}")
+        emit(load_region)
+        load_args = [state.args_by_name[f] for f in input_fields] + [
+            in_streams[f] for f in input_fields
+        ]
+        load_region.body.add_op(CallOp(load_callee, load_args))
+        wave.load = LoadSpec(
+            callee=load_callee,
+            fields=list(input_fields),
+            lanes=lanes,
+            grid_shape=analysis.grid_shape,
+            field_lower={
+                f: arg_info_by_name[f].lower if f in arg_info_by_name else (0,) * rank
+                for f in input_fields
+            },
+        )
+
+        # Shift buffers: one per input field.
+        shift_streams: dict[str, SSAValue] = {}
+        for field_name in input_fields:
+            radius = 0
+            for stage in consumers[field_name]:
+                for offset in stage.offsets.get(field_name, []):
+                    for component in offset:
+                        radius = max(radius, abs(component))
+            radius = max(radius, 1)
+            wave.field_radius[field_name] = radius
+            wsize = window_size(rank, radius)
+            window_type = LLVMArrayType(wsize, f64)
+            create = hls.CreateStreamOp(
+                window_type, depth=options.stream_depth,
+                name_hint=f"{field_name}_shift_w{wave_index}",
+            )
+            emit(create)
+            shift_streams[field_name] = create.result
+            shift_callee = f"shift_buffer_{field_name}_w{wave_index}"
+            state.declare(module, shift_callee)
+            shift_region = hls.DataflowOp(label=f"shift_{field_name}_w{wave_index}")
+            emit(shift_region)
+            shift_region.body.add_op(CallOp(shift_callee, [in_streams[field_name], create.result]))
+            info = arg_info_by_name.get(field_name)
+            wave.shifts.append(
+                ShiftSpec(
+                    callee=shift_callee,
+                    field_name=field_name,
+                    grid_shape=info.shape if info is not None else analysis.grid_shape,
+                    field_lower=info.lower if info is not None else (0,) * rank,
+                    domain_lower=analysis.domain_lower,
+                    domain_upper=analysis.domain_upper,
+                    radius=radius,
+                    window_offsets=window_offsets(rank, radius),
+                )
+            )
+            state.plan.streams.append(
+                StreamSpec(
+                    name=f"{field_name}_shift_w{wave_index}",
+                    kind="window",
+                    element_bits=64 * wsize,
+                    depth=options.stream_depth,
+                    producer=shift_callee,
+                    consumer=f"compute_w{wave_index}",
+                )
+            )
+
+        # Duplication stage: one copy of the window stream per consuming stage.
+        for field_name in input_fields:
+            field_consumers = consumers[field_name]
+            if len(field_consumers) == 1 or not options.split_compute_per_field:
+                for stage in field_consumers:
+                    wave.stage_window_stream[(stage.index, field_name)] = shift_streams[field_name]
+                continue
+            wsize = window_size(rank, wave.field_radius[field_name])
+            window_type = LLVMArrayType(wsize, f64)
+            copies: list[SSAValue] = []
+            copy_names: list[str] = []
+            for copy_index, stage in enumerate(field_consumers):
+                name = f"{field_name}_shift_copy_{copy_index}_w{wave_index}"
+                create = hls.CreateStreamOp(window_type, depth=options.stream_depth, name_hint=name)
+                emit(create)
+                copies.append(create.result)
+                copy_names.append(name)
+                wave.stage_window_stream[(stage.index, field_name)] = create.result
+                state.plan.streams.append(
+                    StreamSpec(
+                        name=name,
+                        kind="window_copy",
+                        element_bits=64 * wsize,
+                        depth=options.stream_depth,
+                        producer=f"duplicate_{field_name}_w{wave_index}",
+                        consumer=f"compute_{stage.index}",
+                    )
+                )
+            dup_callee = f"duplicate_{field_name}_w{wave_index}"
+            state.declare(module, dup_callee)
+            dup_region = hls.DataflowOp(label=dup_callee)
+            emit(dup_region)
+            dup_region.body.add_op(CallOp(dup_callee, [shift_streams[field_name], *copies]))
+            wave.duplicates.append(
+                DuplicateSpec(
+                    callee=dup_callee,
+                    field_name=field_name,
+                    source_stream=f"{field_name}_shift_w{wave_index}",
+                    copies=copy_names,
+                )
+            )
+
+        assert last_emitted is not None, "a wave always has at least a load stage"
+        wave.anchor = last_emitted
+        return wave

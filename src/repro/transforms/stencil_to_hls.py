@@ -1,74 +1,47 @@
 """The Stencil-HMLS transformation: stencil dialect → HLS dialect (§3.3).
 
 This pass restructures a Von-Neumann style stencil kernel into the
-shift-buffer based dataflow form of Figure 3, following the nine steps of
-the paper:
+shift-buffer based dataflow form of Figure 3.  Since the staged-pipeline
+refactor it is a *thin composition* of the discrete sub-passes in
+:mod:`repro.transforms.stencil_hls`, which implement the nine automatic
+optimisation steps of the paper:
 
-1.  classify kernel arguments (field inputs / field outputs / constants);
-2.  replace the field interface types with 512-bit packed versions;
-3.  replace direct external-memory accesses by streams (placeholder
-    ``dummy_load_data`` + ``shift_buffer`` dataflow stages connected by
-    streams, plus per-consumer stream duplication);
-4.  split the computation of each stencil output field into its own
-    concurrently-running dataflow stage;
-5.  map every ``stencil.access`` offset onto the corresponding lane of the
-    shift-buffer window;
-6.  replace ``stencil.store`` by a single ``write_data`` dataflow stage;
-7.  replace the placeholder loaders by one specialised ``load_data`` call;
-8.  copy small constant data into local BRAM/URAM, duplicated per consuming
-    compute stage;
-9.  assign each input/output argument to its own AXI bundle (small data
-    shares one bundle).
+====  =================================  ===============================
+step  paper (§3.3)                       sub-pass
+====  =================================  ===============================
+1     classify kernel arguments          ``stencil-shape-inference``
+2     512-bit packed interface types     ``stencil-interface-lowering``
+3, 7  streams, shift buffers, load_data  ``stencil-wave-pipelining``
+4, 5  per-field compute split + window   ``stencil-compute-split``
+6     single write_data stage            ``stencil-compute-split``
+8     small data copies into BRAM        ``stencil-small-data-buffering``
+9     per-argument AXI bundles           ``hls-bundle-assignment``
+====  =================================  ===============================
+
+The sub-passes communicate through a
+:class:`~repro.transforms.stencil_hls.context.LoweringContext` carried on
+the pass manager's :class:`~repro.ir.passes.PassContext`; they can equally
+be scheduled individually from a textual pipeline spec (see
+:mod:`repro.ir.pass_registry`) to ablate single optimisation steps.
 
 Kernels whose stencil stages depend on each other (the tracer advection
 case) are emitted as a sequence of dependency *waves*; stages within a wave
-run concurrently, waves run back-to-back.  This matches the paper's
-observation that such dependencies "do not allow a clean split across
-components" and is what reduces the measured advantage on that benchmark.
-
-Besides the HLS-dialect IR the pass records a :class:`DataflowPlan`
-describing the generated structure, which the synthesis model, functional
-simulator and resource/power models consume.
+run concurrently, waves run back-to-back.  Besides the HLS-dialect IR the
+lowering records a :class:`~repro.core.plan.DataflowPlan` per kernel, which
+the synthesis model, functional simulator and resource/power models consume.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.ir.core import Block, BlockArgument, Operation, OpResult, Region, SSAValue, VerifyException
-from repro.ir.passes import ModulePass
-from repro.ir.attributes import IntAttr, StringAttr, UnitAttr
-from repro.ir.types import (
-    FloatType,
-    LLVMArrayType,
-    LLVMPointerType,
-    MemRefType,
-    f64,
-    packed_interface_type,
-)
-from repro.dialects import arith, hls, llvm as llvm_d, memref as memref_d, scf, stencil
-from repro.dialects.builtin import ModuleOp
-from repro.dialects.func import CallOp, FuncOp, ReturnOp
-from repro.ir.types import FunctionType
 from repro.core.config import CompilerOptions
-from repro.core.plan import (
-    ComputeStageSpec,
-    DataflowPlan,
-    DuplicateSpec,
-    InterfaceSpec,
-    LoadSpec,
-    ShiftSpec,
-    SmallDataCopySpec,
-    StreamSpec,
-    WavePlan,
-    WriteFieldSpec,
-    WriteSpec,
-)
-from repro.runtime.window import window_index, window_offsets, window_size
-from repro.transforms.stencil_analysis import (
-    AnalysisError,
-    StencilKernelAnalysis,
-    analyse_stencil_function,
+from repro.core.plan import DataflowPlan
+from repro.dialects.builtin import ModuleOp
+from repro.ir.passes import PassManager
+from repro.transforms.stencil_hls import (
+    StencilLoweringPass,
+    build_stencil_to_hls_pipeline,
 )
 
 
@@ -79,584 +52,28 @@ class StencilToHLSOptions:
     options: CompilerOptions
 
 
-class StencilToHLSPass(ModulePass):
-    """Apply the nine-step Stencil-HMLS transformation to every stencil kernel."""
+class StencilToHLSPass(StencilLoweringPass):
+    """Apply the full staged Stencil-HMLS lowering to every stencil kernel."""
 
     name = "convert-stencil-to-hls"
 
-    def __init__(self, options: CompilerOptions | None = None) -> None:
-        self.options = options or CompilerOptions()
-        self.options.validate()
+    def __init__(self, options: CompilerOptions | None = None, **overrides) -> None:
+        super().__init__(options, **overrides)
         #: Dataflow plans recorded per generated kernel (kernel name → plan).
         self.plans: dict[str, DataflowPlan] = {}
 
-    # ------------------------------------------------------------------ driver
-
     def apply(self, module: ModuleOp) -> bool:
-        changed = False
-        for func in list(module.walk_type(FuncOp)):
-            if func.is_declaration:
-                continue
-            if not any(True for _ in func.walk_type(stencil.ApplyOp)):
-                continue
-            plan = self._lower_kernel(module, func)
-            self.plans[plan.kernel_name] = plan
-            changed = True
-        return changed
-
-    # ----------------------------------------------------------------- lowering
-
-    def _lower_kernel(self, module: ModuleOp, func: FuncOp) -> DataflowPlan:
-        analysis = analyse_stencil_function(func)
-        options = self.options
-        kernel_name = f"{func.sym_name}_hls"
-        plan = DataflowPlan(kernel_name=kernel_name, analysis=analysis, options=options)
-
-        # -- step 2: interface types ------------------------------------------------
-        lanes = 1
-        if options.pack_interfaces:
-            lanes = options.interface_width_bits // 64
-        new_arg_types = []
-        for arg_info, old_arg in zip(analysis.arguments, func.entry_block.args):
-            if arg_info.is_field:
-                if options.pack_interfaces:
-                    new_arg_types.append(LLVMPointerType(packed_interface_type(f64, options.interface_width_bits)))
-                else:
-                    new_arg_types.append(LLVMPointerType(f64))
-            else:
-                new_arg_types.append(old_arg.type)
-
-        new_func = FuncOp.with_body(
-            kernel_name,
-            new_arg_types,
-            [],
-            attributes={
-                "hls.kernel": UnitAttr(),
-                "hls.target_ii": IntAttr(options.target_ii),
-            },
+        lowering = self.lowering_context()
+        # The composite runs before any stage, so every option may still be
+        # overridden here (unlike per-sub-pass overrides, which are checked
+        # against the stages that already consumed them).
+        self.apply_global_overrides(lowering)
+        # The outer pass manager verifies around this composite; the
+        # intermediate states are valid IR but re-verifying five times per
+        # kernel would only add cost.
+        inner = PassManager(
+            build_stencil_to_hls_pipeline(), verify_each=False, context=self.ctx
         )
-        for new_arg, arg_info in zip(new_func.entry_block.args, analysis.arguments):
-            new_arg.name_hint = arg_info.name
-        body = new_func.entry_block
-        args_by_name = {info.name: arg for info, arg in zip(analysis.arguments, new_func.entry_block.args)}
-
-        declared: set[str] = set()
-
-        def declare(callee: str, num_args: int) -> None:
-            if callee in declared:
-                return
-            module.add_op(FuncOp.declaration(callee, [], []))
-            declared.add(callee)
-
-        # -- step 9: interface bundles ----------------------------------------------
-        self._emit_interfaces(body, analysis, args_by_name, plan, lanes)
-
-        # -- step 8: small data copies ----------------------------------------------
-        local_copies = self._emit_small_data_copies(body, analysis, args_by_name, plan)
-
-        # -- steps 3-7: per-wave dataflow pipeline -----------------------------------
-        waves = analysis.dependency_waves()
-        for wave_index, stage_indices in enumerate(waves):
-            stages = [analysis.stages[i] for i in stage_indices]
-            wave_plan = self._emit_wave(
-                module,
-                body,
-                analysis,
-                args_by_name,
-                local_copies,
-                stages,
-                wave_index,
-                lanes,
-                plan,
-                declare,
-            )
-            plan.waves.append(wave_plan)
-
-        body.add_op(ReturnOp())
-
-        # Replace the original function with the generated HLS kernel.
-        parent = func.parent
-        parent.insert_op_after(new_func, func)
-        func.detach()
-        func.drop_all_references()
-        return plan
-
-    # ---------------------------------------------------------------- step 9
-
-    def _emit_interfaces(
-        self,
-        body: Block,
-        analysis: StencilKernelAnalysis,
-        args_by_name: dict[str, SSAValue],
-        plan: DataflowPlan,
-        lanes: int,
-    ) -> None:
-        options = self.options
-        for info in analysis.arguments:
-            arg = args_by_name[info.name]
-            if info.is_field:
-                bundle = f"gmem_{info.name}" if options.separate_bundles else "gmem0"
-                protocol = "m_axi"
-                direction = "out" if info.kind == "field_output" else "in"
-                packed = lanes
-            elif info.kind == "small_data":
-                bundle = "gmem_small" if options.bundle_small_data else f"gmem_{info.name}"
-                protocol = "m_axi"
-                direction = "in"
-                packed = 1
-            else:
-                bundle = "control"
-                protocol = "s_axilite"
-                direction = "in"
-                packed = 1
-            body.add_op(hls.InterfaceOp(arg, protocol, bundle))
-            plan.interfaces.append(
-                InterfaceSpec(
-                    arg_name=info.name,
-                    bundle=bundle,
-                    protocol=protocol,
-                    direction=direction,
-                    is_small_data=(info.kind == "small_data"),
-                    packed_lanes=packed,
-                    element_bits=info.element_bits,
-                )
-            )
-
-    # ---------------------------------------------------------------- step 8
-
-    def _emit_small_data_copies(
-        self,
-        body: Block,
-        analysis: StencilKernelAnalysis,
-        args_by_name: dict[str, SSAValue],
-        plan: DataflowPlan,
-    ) -> dict[tuple[str, int], SSAValue]:
-        """Copy small constant data to BRAM, one copy per consuming stage."""
-        local_copies: dict[tuple[str, int], SSAValue] = {}
-        if not self.options.copy_small_data_to_bram:
-            return local_copies
-        small_by_name = {info.name: info for info in analysis.small_data}
-        for stage in analysis.stages:
-            for arg_name in stage.small_data:
-                info = small_by_name.get(arg_name)
-                if info is None:
-                    continue
-                arg = args_by_name[arg_name]
-                if not isinstance(arg.type, MemRefType):
-                    continue
-                local = memref_d.AllocaOp(arg.type)
-                local.result.name_hint = f"{arg_name}_local_{stage.index}"
-                body.add_op(local)
-                body.add_op(hls.ArrayPartitionOp(local.result, kind="cyclic", factor=2))
-                self._emit_copy_loop(body, arg, local.result, info.num_elements, arg.type)
-                local_copies[(arg_name, stage.index)] = local.result
-                plan.small_copies.append(
-                    SmallDataCopySpec(
-                        arg_name=arg_name,
-                        stage_label=f"compute_{stage.index}",
-                        elements=info.num_elements,
-                        element_bits=info.element_bits,
-                    )
-                )
-        return local_copies
-
-    def _emit_copy_loop(
-        self,
-        body: Block,
-        source: SSAValue,
-        target: SSAValue,
-        count: int,
-        memref_type: MemRefType,
-    ) -> None:
-        if memref_type.rank != 1:
-            # Multi-dimensional small data: copy element count along dim 0 only
-            # (our kernels only use 1-D profile arrays).
-            count = memref_type.shape[0]
-        zero = arith.ConstantOp.from_index(0)
-        upper = arith.ConstantOp.from_index(count)
-        one = arith.ConstantOp.from_index(1)
-        body.add_ops([zero, upper, one])
-        loop = scf.ForOp(zero.result, upper.result, one.result)
-        body.add_op(loop)
-        loop_body = loop.body
-        loop_body.add_op(hls.PipelineOp(1))
-        load = memref_d.LoadOp(source, [loop.induction_variable])
-        loop_body.add_op(load)
-        loop_body.add_op(memref_d.StoreOp(load.result, target, [loop.induction_variable]))
-        loop_body.add_op(scf.YieldOp())
-
-    # ----------------------------------------------------------- steps 3-7 (wave)
-
-    def _emit_wave(
-        self,
-        module: ModuleOp,
-        body: Block,
-        analysis: StencilKernelAnalysis,
-        args_by_name: dict[str, SSAValue],
-        local_copies: dict[tuple[str, int], SSAValue],
-        stages,
-        wave_index: int,
-        lanes: int,
-        plan: DataflowPlan,
-        declare,
-    ) -> WavePlan:
-        options = self.options
-        rank = analysis.rank
-        domain_lower = analysis.domain_lower
-        domain_upper = analysis.domain_upper
-        domain_points = analysis.domain_points
-        arg_info_by_name = {a.name: a for a in analysis.arguments}
-
-        # Which fields does this wave read, and which stages consume each?
-        input_fields: list[str] = []
-        consumers: dict[str, list] = {}
-        for stage in stages:
-            for field_name in stage.input_fields:
-                if field_name not in input_fields:
-                    input_fields.append(field_name)
-                consumers.setdefault(field_name, []).append(stage)
-
-        # ------------------------------------------------------------------ step 3
-        # Raw input streams + the (specialised) load_data stage (step 7).
-        in_streams: dict[str, SSAValue] = {}
-        packed_type = LLVMArrayType(lanes, f64) if lanes > 1 else f64
-        for field_name in input_fields:
-            create = hls.CreateStreamOp(packed_type, depth=options.stream_depth,
-                                        name_hint=f"{field_name}_in_w{wave_index}")
-            body.add_op(create)
-            in_streams[field_name] = create.result
-            plan.streams.append(
-                StreamSpec(
-                    name=f"{field_name}_in_w{wave_index}",
-                    kind="raw_in",
-                    element_bits=64 * lanes,
-                    depth=options.stream_depth,
-                    producer=f"load_data_w{wave_index}",
-                    consumer=f"shift_buffer_{field_name}_w{wave_index}",
-                )
-            )
-
-        load_callee = f"load_data_w{wave_index}"
-        declare(load_callee, 2 * len(input_fields))
-        load_region = hls.DataflowOp(label=f"load_w{wave_index}")
-        body.add_op(load_region)
-        load_args = [args_by_name[f] for f in input_fields] + [in_streams[f] for f in input_fields]
-        load_region.body.add_op(CallOp(load_callee, load_args))
-        load_spec = LoadSpec(
-            callee=load_callee,
-            fields=list(input_fields),
-            lanes=lanes,
-            grid_shape=analysis.grid_shape,
-            field_lower={
-                f: arg_info_by_name[f].lower if f in arg_info_by_name else (0,) * rank
-                for f in input_fields
-            },
-        )
-
-        # Shift buffers: one per input field.
-        shift_streams: dict[str, SSAValue] = {}
-        shift_specs: list[ShiftSpec] = []
-        field_radius: dict[str, int] = {}
-        for field_name in input_fields:
-            radius = 0
-            for stage in consumers[field_name]:
-                for offset in stage.offsets.get(field_name, []):
-                    for component in offset:
-                        radius = max(radius, abs(component))
-            radius = max(radius, 1)
-            field_radius[field_name] = radius
-            wsize = window_size(rank, radius)
-            window_type = LLVMArrayType(wsize, f64)
-            create = hls.CreateStreamOp(window_type, depth=options.stream_depth,
-                                        name_hint=f"{field_name}_shift_w{wave_index}")
-            body.add_op(create)
-            shift_streams[field_name] = create.result
-            shift_callee = f"shift_buffer_{field_name}_w{wave_index}"
-            declare(shift_callee, 2)
-            shift_region = hls.DataflowOp(label=f"shift_{field_name}_w{wave_index}")
-            body.add_op(shift_region)
-            shift_region.body.add_op(CallOp(shift_callee, [in_streams[field_name], create.result]))
-            info = arg_info_by_name.get(field_name)
-            shift_specs.append(
-                ShiftSpec(
-                    callee=shift_callee,
-                    field_name=field_name,
-                    grid_shape=info.shape if info is not None else analysis.grid_shape,
-                    field_lower=info.lower if info is not None else (0,) * rank,
-                    domain_lower=domain_lower,
-                    domain_upper=domain_upper,
-                    radius=radius,
-                    window_offsets=window_offsets(rank, radius),
-                )
-            )
-            plan.streams.append(
-                StreamSpec(
-                    name=f"{field_name}_shift_w{wave_index}",
-                    kind="window",
-                    element_bits=64 * wsize,
-                    depth=options.stream_depth,
-                    producer=shift_callee,
-                    consumer=f"compute_w{wave_index}",
-                )
-            )
-
-        # Duplication stage: one copy of the window stream per consuming compute stage.
-        duplicate_specs: list[DuplicateSpec] = []
-        stage_window_stream: dict[tuple[int, str], SSAValue] = {}
-        for field_name in input_fields:
-            field_consumers = consumers[field_name]
-            if len(field_consumers) == 1 or not options.split_compute_per_field:
-                for stage in field_consumers:
-                    stage_window_stream[(stage.index, field_name)] = shift_streams[field_name]
-                continue
-            wsize = window_size(rank, field_radius[field_name])
-            window_type = LLVMArrayType(wsize, f64)
-            copies: list[SSAValue] = []
-            copy_names: list[str] = []
-            for copy_index, stage in enumerate(field_consumers):
-                name = f"{field_name}_shift_copy_{copy_index}_w{wave_index}"
-                create = hls.CreateStreamOp(window_type, depth=options.stream_depth, name_hint=name)
-                body.add_op(create)
-                copies.append(create.result)
-                copy_names.append(name)
-                stage_window_stream[(stage.index, field_name)] = create.result
-                plan.streams.append(
-                    StreamSpec(
-                        name=name,
-                        kind="window_copy",
-                        element_bits=64 * wsize,
-                        depth=options.stream_depth,
-                        producer=f"duplicate_{field_name}_w{wave_index}",
-                        consumer=f"compute_{stage.index}",
-                    )
-                )
-            dup_callee = f"duplicate_{field_name}_w{wave_index}"
-            declare(dup_callee, 1 + len(copies))
-            dup_region = hls.DataflowOp(label=dup_callee)
-            body.add_op(dup_region)
-            dup_region.body.add_op(CallOp(dup_callee, [shift_streams[field_name], *copies]))
-            duplicate_specs.append(
-                DuplicateSpec(
-                    callee=dup_callee,
-                    field_name=field_name,
-                    source_stream=f"{field_name}_shift_w{wave_index}",
-                    copies=copy_names,
-                )
-            )
-
-        # ------------------------------------------------------------------ step 4-5
-        compute_specs: list[ComputeStageSpec] = []
-        result_streams: list[tuple[str, SSAValue]] = []  # (output field, stream)
-        write_fields: list[WriteFieldSpec] = []
-        if options.split_compute_per_field:
-            stage_groups = [[stage] for stage in stages]
-        else:
-            stage_groups = [list(stages)] if stages else []
-
-        for group_index, group in enumerate(stage_groups):
-            group_streams: dict[tuple[int, int], SSAValue] = {}
-            for stage in group:
-                for result_index, out_field in enumerate(stage.output_fields):
-                    name = f"{out_field}_result_w{wave_index}"
-                    create = hls.CreateStreamOp(f64, depth=options.stream_depth, name_hint=name)
-                    body.add_op(create)
-                    group_streams[(stage.index, result_index)] = create.result
-                    result_streams.append((out_field, create.result))
-                    plan.streams.append(
-                        StreamSpec(
-                            name=name,
-                            kind="result",
-                            element_bits=64,
-                            depth=options.stream_depth,
-                            producer=f"compute_{stage.index}",
-                            consumer=f"write_data_w{wave_index}",
-                        )
-                    )
-                    info = arg_info_by_name.get(out_field)
-                    write_fields.append(
-                        WriteFieldSpec(
-                            field_name=out_field,
-                            lower=stage.lower_bound,
-                            upper=stage.upper_bound,
-                            field_lower=info.lower if info is not None else (0,) * rank,
-                            grid_shape=info.shape if info is not None else analysis.grid_shape,
-                        )
-                    )
-
-            label = f"compute_w{wave_index}_{group_index}"
-            compute_region = hls.DataflowOp(label=label)
-            body.add_op(compute_region)
-            self._emit_compute_loop(
-                compute_region.body,
-                group,
-                stage_window_stream,
-                group_streams,
-                local_copies,
-                args_by_name,
-                analysis,
-                field_radius,
-                domain_lower,
-                domain_upper,
-                domain_points,
-            )
-            for stage in group:
-                compute_specs.append(
-                    ComputeStageSpec(
-                        label=f"compute_{stage.index}",
-                        stage_index=stage.index,
-                        wave=wave_index,
-                        output_fields=list(stage.output_fields),
-                        input_windows={
-                            f: f"{f}_shift_w{wave_index}" for f in stage.input_fields
-                        },
-                        small_data=list(stage.small_data),
-                        flops_per_point=stage.flops,
-                        window_size=window_size(rank, max(field_radius.get(f, 1) for f in stage.input_fields) if stage.input_fields else 1),
-                        domain_points=domain_points,
-                        ii=self.options.target_ii,
-                    )
-                )
-
-        # ------------------------------------------------------------------ step 6
-        write_callee = f"write_data_w{wave_index}"
-        declare(write_callee, 2 * len(result_streams))
-        write_region = hls.DataflowOp(label=write_callee)
-        body.add_op(write_region)
-        write_args = [stream for _, stream in result_streams] + [
-            args_by_name[field_name] for field_name, _ in result_streams
-        ]
-        write_region.body.add_op(CallOp(write_callee, write_args))
-        write_spec = WriteSpec(callee=write_callee, fields=write_fields, lanes=lanes)
-
-        return WavePlan(
-            index=wave_index,
-            load=load_spec,
-            shifts=shift_specs,
-            duplicates=duplicate_specs,
-            computes=compute_specs,
-            write=write_spec,
-        )
-
-    # ------------------------------------------------------------- compute stage body
-
-    def _emit_compute_loop(
-        self,
-        region_body: Block,
-        stages,
-        stage_window_stream: dict[tuple[int, str], SSAValue],
-        result_streams: dict[tuple[int, int], SSAValue],
-        local_copies: dict[tuple[str, int], SSAValue],
-        args_by_name: dict[str, SSAValue],
-        analysis: StencilKernelAnalysis,
-        field_radius: dict[str, int],
-        domain_lower,
-        domain_upper,
-        domain_points: int,
-    ) -> None:
-        zero = arith.ConstantOp.from_index(0)
-        upper = arith.ConstantOp.from_index(domain_points)
-        one = arith.ConstantOp.from_index(1)
-        region_body.add_ops([zero, upper, one])
-        loop = scf.ForOp(zero.result, upper.result, one.result)
-        region_body.add_op(loop)
-        loop_body = loop.body
-        loop_body.add_op(hls.PipelineOp(self.options.target_ii))
-        iv = loop.induction_variable
-
-        extents = [u - l for l, u in zip(domain_lower, domain_upper)]
-        strides = []
-        acc = 1
-        for extent in reversed(extents):
-            strides.insert(0, acc)
-            acc *= extent
-
-        dim_index_cache: dict[int, SSAValue] = {}
-
-        def dim_index(dim: int) -> SSAValue:
-            """Reconstruct the global index of dimension ``dim`` from the linear iv."""
-            if dim in dim_index_cache:
-                return dim_index_cache[dim]
-            stride = arith.ConstantOp.from_index(strides[dim])
-            extent = arith.ConstantOp.from_index(extents[dim])
-            lower = arith.ConstantOp.from_index(domain_lower[dim])
-            div = arith.DivsiOp(iv, stride.result)
-            rem = arith.RemsiOp(div.result, extent.result)
-            add = arith.AddiOp(rem.result, lower.result)
-            loop_body.add_ops([stride, extent, lower, div, rem, add])
-            dim_index_cache[dim] = add.result
-            return add.result
-
-        # Read every distinct window stream exactly once per iteration.  With
-        # per-field splitting each group holds a single stage reading its own
-        # stream copies; without splitting (ablation A1) the stages share one
-        # set of window streams, so the read must be shared too.
-        window_values_by_stream: dict[SSAValue, SSAValue] = {}
-        stage_windows: dict[tuple[int, str], SSAValue] = {}
-        for stage in stages:
-            for field_name in stage.input_fields:
-                stream = stage_window_stream[(stage.index, field_name)]
-                if stream not in window_values_by_stream:
-                    read = hls.ReadOp(stream)
-                    loop_body.add_op(read)
-                    window_values_by_stream[stream] = read.result
-                stage_windows[(stage.index, field_name)] = window_values_by_stream[stream]
-
-        for stage in stages:
-            apply_op = stage.apply_op
-            window_values = {
-                field_name: stage_windows[(stage.index, field_name)]
-                for field_name in stage.input_fields
-            }
-
-            value_map: dict[SSAValue, SSAValue] = {}
-            # Map non-field operands of the apply to kernel arguments / local copies.
-            for operand, block_arg in zip(apply_op.operands, apply_op.body.args):
-                if isinstance(operand.type, (stencil.TempType, stencil.FieldType)):
-                    continue
-                name = operand.name_hint
-                if isinstance(operand, BlockArgument) and name in args_by_name:
-                    target = args_by_name[name]
-                    local = local_copies.get((name, stage.index))
-                    value_map[block_arg] = local if local is not None else target
-                else:
-                    raise AnalysisError(
-                        "stencil-to-hls: non-field apply operands must be kernel "
-                        "arguments (scalars or small data memrefs)"
-                    )
-
-            # Which field does each apply block argument correspond to?
-            arg_field_names: dict[SSAValue, str] = {}
-            for operand_index, operand in enumerate(apply_op.operands):
-                if isinstance(operand.type, (stencil.TempType, stencil.FieldType)):
-                    field_name = stage.input_fields[
-                        sum(
-                            1
-                            for o in apply_op.operands[:operand_index]
-                            if isinstance(o.type, (stencil.TempType, stencil.FieldType))
-                        )
-                    ]
-                    arg_field_names[apply_op.body.args[operand_index]] = field_name
-
-            for op in apply_op.body.ops:
-                if isinstance(op, stencil.AccessOp):
-                    field_name = arg_field_names[op.temp]
-                    radius = field_radius.get(field_name, 1)
-                    lane = window_index(op.offset, radius)
-                    extract = llvm_d.ExtractValueOp(window_values[field_name], [lane], f64)
-                    loop_body.add_op(extract)
-                    value_map[op.result] = extract.result
-                elif isinstance(op, stencil.IndexOp):
-                    value_map[op.result] = dim_index(op.dim)
-                elif isinstance(op, stencil.ReturnOp):
-                    for result_index, returned in enumerate(op.operands):
-                        stream = result_streams.get((stage.index, result_index))
-                        if stream is None:
-                            continue
-                        loop_body.add_op(hls.WriteOp(stream, value_map[returned]))
-                else:
-                    cloned = op.clone(value_map)
-                    loop_body.add_op(cloned)
-                    for old_res, new_res in zip(op.results, cloned.results):
-                        value_map[old_res] = new_res
-
-        loop_body.add_op(scf.YieldOp())
+        inner.run(module)
+        self.plans = dict(lowering.plans)
+        return any(stat.changed for stat in inner.statistics)

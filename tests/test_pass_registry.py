@@ -1,0 +1,414 @@
+"""Tests for the pass registry, textual pipeline specs and staged lowering."""
+
+import pytest
+
+from repro.core.config import CompilerOptions, resolve_option_overrides
+from repro.core.pipeline import StencilHMLSCompiler, select_plan
+from repro.dialects import hls, stencil
+from repro.dialects.func import FuncOp
+from repro.ir.pass_registry import (
+    PassRegistry,
+    PipelineParseError,
+    parse_pipeline_spec,
+)
+from repro.ir.passes import PassContext, PassManager
+from repro.ir.printer import print_module
+from repro.kernels.pw_advection import build_pw_advection
+from repro.kernels.tracer_advection import build_tracer_advection
+from repro.transforms.stencil_hls import LoweringContext
+from repro.transforms.stencil_to_hls import StencilToHLSPass
+
+SUB_PASS_SPEC = (
+    "stencil-shape-inference,stencil-interface-lowering,"
+    "stencil-small-data-buffering,stencil-wave-pipelining,"
+    "stencil-compute-split,hls-bundle-assignment"
+)
+
+
+class TestSpecParsing:
+    def test_simple_list(self):
+        entries = parse_pipeline_spec("canonicalize,cse,dce")
+        assert entries == [("canonicalize", {}), ("cse", {}), ("dce", {})]
+
+    def test_options_are_parsed_and_typed(self):
+        entries = parse_pipeline_spec(
+            "convert-stencil-to-hls{pack=0,depth=32,bundles=false,label=x}"
+        )
+        assert entries == [
+            ("convert-stencil-to-hls", {"pack": 0, "depth": 32, "bundles": False, "label": "x"})
+        ]
+
+    def test_commas_inside_braces_do_not_split(self):
+        entries = parse_pipeline_spec("a{x=1,y=2},b")
+        assert [name for name, _ in entries] == ["a", "b"]
+
+    def test_bare_flag_means_true(self):
+        assert parse_pipeline_spec("p{pack}") == [("p", {"pack": True})]
+
+    def test_whitespace_tolerated(self):
+        entries = parse_pipeline_spec(" canonicalize , cse ")
+        assert [name for name, _ in entries] == ["canonicalize", "cse"]
+
+    def test_unbalanced_braces_rejected(self):
+        with pytest.raises(PipelineParseError):
+            parse_pipeline_spec("a{x=1")
+        with pytest.raises(PipelineParseError):
+            parse_pipeline_spec("a}x")
+
+
+class TestRegistry:
+    def test_known_passes_registered(self):
+        registry = PassRegistry.default()
+        for name in (
+            "canonicalize", "cse", "dce",
+            "convert-stencil-to-hls", "convert-hls-to-llvm",
+            "stencil-shape-inference", "stencil-interface-lowering",
+            "stencil-small-data-buffering", "stencil-wave-pipelining",
+            "stencil-compute-split", "hls-bundle-assignment",
+        ):
+            assert name in registry.registered_names
+
+    def test_aliases_resolve_to_canonical_names(self):
+        registry = PassRegistry.default()
+        assert registry.resolve("stencil-to-hls") == "convert-stencil-to-hls"
+        assert registry.resolve("hls-to-llvm") == "convert-hls-to-llvm"
+
+    def test_unknown_pass_rejected(self):
+        with pytest.raises(PipelineParseError, match="unknown pass"):
+            PassRegistry.parse("canonicalize,no-such-pass")
+
+    def test_unknown_option_rejected_at_apply(self, small_shape):
+        manager = PassRegistry.parse("convert-stencil-to-hls{frobnicate=1}")
+        with pytest.raises(ValueError, match="unknown compiler option"):
+            manager.run(build_pw_advection(small_shape))
+
+    def test_round_trip_pipeline_description(self):
+        spec = "canonicalize,convert-stencil-to-hls{pack=0},convert-hls-to-llvm"
+        manager = PassRegistry.parse(spec)
+        description = manager.pipeline_description()
+        assert description == spec
+        again = PassRegistry.parse(description)
+        assert again.pipeline_description() == description
+
+    def test_aliases_normalise_in_description(self):
+        manager = PassRegistry.parse("stencil-to-hls,hls-to-llvm")
+        description = manager.pipeline_description()
+        assert description == "convert-stencil-to-hls,convert-hls-to-llvm"
+        assert PassRegistry.parse(description).pipeline_description() == description
+
+
+class TestStagedLowering:
+    def test_sub_pass_pipeline_matches_composite(self, small_shape):
+        composite_module = build_pw_advection(small_shape)
+        composite = StencilToHLSPass(CompilerOptions())
+        PassManager([composite]).run(composite_module)
+
+        staged_module = build_pw_advection(small_shape)
+        context = PassContext()
+        context.set(LoweringContext(options=CompilerOptions()))
+        PassRegistry.parse(SUB_PASS_SPEC, context=context).run(staged_module)
+
+        assert print_module(staged_module) == print_module(composite_module)
+        lowering = context.get(LoweringContext)
+        assert set(lowering.plans) == set(composite.plans)
+
+    def test_out_of_order_pipeline_reports_missing_stage(self, small_shape):
+        module = build_pw_advection(small_shape)
+        manager = PassRegistry.parse("stencil-shape-inference,stencil-compute-split")
+        with pytest.raises(ValueError, match="stencil-wave-pipelining"):
+            manager.run(module)
+
+    def test_optional_stage_scheduled_too_late_rejected(self, small_shape):
+        # stencil-small-data-buffering after wave-pipelining must raise, not
+        # silently skip (the user asked for BRAM copies and would get none).
+        module = build_pw_advection(small_shape)
+        manager = PassRegistry.parse(
+            "stencil-shape-inference,stencil-interface-lowering,"
+            "stencil-wave-pipelining,stencil-small-data-buffering"
+        )
+        with pytest.raises(ValueError, match="too late"):
+            manager.run(module)
+
+    def test_llvm_lowering_between_stages_reports_reorder(self, small_shape):
+        # convert-hls-to-llvm wedged between wave-pipelining and compute-split
+        # destroys the wave anchors; the error must say how to fix the spec.
+        module = build_pw_advection(small_shape)
+        manager = PassRegistry.parse(
+            "stencil-shape-inference,stencil-interface-lowering,"
+            "stencil-small-data-buffering,stencil-wave-pipelining,"
+            "convert-hls-to-llvm,stencil-compute-split",
+            verify_each=False,
+        )
+        with pytest.raises(ValueError, match="reorder the pipeline spec"):
+            manager.run(module)
+
+    def test_composite_is_thin(self, small_shape):
+        # The composite must not lower anything itself: running the sub-pass
+        # list under its context reproduces its whole effect (checked above),
+        # and the composite exposes the plans the sub-passes recorded.
+        module = build_pw_advection(small_shape)
+        pass_ = StencilToHLSPass()
+        PassManager([pass_]).run(module)
+        lowering = pass_.ctx.get(LoweringContext)
+        assert lowering is not None
+        assert pass_.plans == dict(lowering.plans)
+
+    def test_composite_reports_inner_stage_changes(self, small_shape):
+        # Kernels arriving at the composite already at PHASE_COMPUTED still
+        # get their bundle stage run; the composite must report changed=True.
+        module = build_pw_advection(small_shape)
+        context = PassContext()
+        PassRegistry.parse(
+            "stencil-shape-inference,stencil-interface-lowering,"
+            "stencil-small-data-buffering,stencil-wave-pipelining,"
+            "stencil-compute-split",
+            context=context,
+        ).run(module)
+        composite = StencilToHLSPass()
+        manager = PassManager([composite])
+        manager.context = context
+        manager.run(module)
+        assert manager.statistics[-1].changed
+        assert composite.plans["pw_advection_hls"].interfaces
+
+    def test_original_function_gone_and_no_stencil_left(self, small_shape):
+        module = build_tracer_advection(small_shape)
+        PassRegistry.parse(SUB_PASS_SPEC).run(module)
+        assert module.get_symbol("tracer_advection") is None
+        kernel = module.get_symbol("tracer_advection_hls")
+        assert isinstance(kernel, FuncOp)
+        assert not list(kernel.walk_type(stencil.ApplyOp))
+
+    def test_too_late_sub_pass_override_rejected(self, small_shape):
+        # `split` is consumed by stencil-wave-pipelining (stream duplication);
+        # overriding it on the later compute-split stage would leave the IR
+        # and plan inconsistent, so it must be refused outright.
+        module = build_pw_advection(small_shape)
+        spec = SUB_PASS_SPEC.replace(
+            "stencil-compute-split", "stencil-compute-split{split=0}"
+        )
+        with pytest.raises(ValueError, match="stencil-wave-pipelining"):
+            PassRegistry.parse(spec).run(module)
+
+    def test_override_on_consuming_pass_matches_option_ablation(self, small_shape):
+        staged = build_pw_advection(small_shape)
+        context = PassContext()
+        spec = SUB_PASS_SPEC.replace(
+            "stencil-wave-pipelining", "stencil-wave-pipelining{split=0}"
+        )
+        PassRegistry.parse(spec, context=context).run(staged)
+        plan = context.get(LoweringContext).plans["pw_advection_hls"]
+
+        option_module = build_pw_advection(small_shape)
+        option_pass = StencilToHLSPass(CompilerOptions(split_compute_per_field=False))
+        PassManager([option_pass]).run(option_module)
+        option_plan = option_pass.plans["pw_advection_hls"]
+
+        assert print_module(staged) == print_module(option_module)
+        assert len(plan.streams) == len(option_plan.streams)
+        assert not any(s.kind == "window_copy" for s in plan.streams)
+
+    def test_global_override_after_explicit_shape_inference(self, small_shape):
+        # Shape inference seeds kernel states with the default options; a
+        # composite override arriving afterwards (but before any lowering)
+        # must still take effect instead of being silently dropped.
+        module = build_pw_advection(small_shape)
+        context = PassContext()
+        PassRegistry.parse(
+            "stencil-shape-inference,convert-stencil-to-hls{pack=0}",
+            context=context,
+        ).run(module)
+        plan = context.get(LoweringContext).plans["pw_advection_hls"]
+        assert all(i.packed_lanes == 1 for i in plan.interfaces)
+
+    def test_global_override_after_lowering_started_rejected(self, small_shape):
+        module = build_pw_advection(small_shape)
+        manager = PassRegistry.parse(
+            "stencil-shape-inference,stencil-interface-lowering,"
+            "convert-stencil-to-hls{pack=0}"
+        )
+        with pytest.raises(ValueError, match="already lowered past shape inference"):
+            manager.run(module)
+
+    def test_explicit_options_object_on_late_sub_pass_rejected(self, small_shape):
+        from repro.transforms.stencil_hls import (
+            StencilInterfaceLoweringPass,
+            StencilShapeInferencePass,
+            StencilWavePipeliningPass,
+            StencilSmallDataBufferingPass,
+        )
+
+        module = build_pw_advection(small_shape)
+        manager = PassManager([
+            StencilShapeInferencePass(),
+            StencilInterfaceLoweringPass(),
+            StencilSmallDataBufferingPass(),
+            # Interface lowering already baked 8-lane packed types into the
+            # IR; a full options object must not sneak pack=False past the
+            # timing check either.
+            StencilWavePipeliningPass(CompilerOptions(pack_interfaces=False)),
+        ])
+        with pytest.raises(ValueError, match="pack_interfaces"):
+            manager.run(module)
+
+    def test_pipeline_option_override_pack(self, small_shape):
+        module = build_pw_advection(small_shape)
+        context = PassContext()
+        PassRegistry.parse(
+            "convert-stencil-to-hls{pack=0}", context=context
+        ).run(module)
+        lowering = context.get(LoweringContext)
+        plan = lowering.plans["pw_advection_hls"]
+        assert all(i.packed_lanes == 1 for i in plan.interfaces)
+        assert plan.options.pack_interfaces is False
+
+
+class TestCompilerPipelineSpec:
+    def test_custom_spec_matches_default_flow(self, small_shape):
+        module = build_pw_advection(small_shape)
+        default = StencilHMLSCompiler(CompilerOptions()).compile(module)
+        custom = StencilHMLSCompiler(
+            CompilerOptions(),
+            pass_pipeline="canonicalize,stencil-to-hls,hls-to-llvm",
+        ).compile(module)
+        assert custom.design.compute_units == default.design.compute_units
+        assert custom.design.achieved_ii == default.design.achieved_ii
+        assert print_module(custom.llvm_module) == print_module(default.llvm_module)
+
+    def test_pipeline_without_llvm_lowering_is_completed(self, small_shape):
+        module = build_pw_advection(small_shape)
+        compiler = StencilHMLSCompiler(
+            CompilerOptions(), pass_pipeline="canonicalize,stencil-to-hls"
+        )
+        xclbin = compiler.compile(module)
+        # The implicit tail lowering must leave no HLS ops in the LLVM module.
+        assert not any(
+            isinstance(op, hls.DIALECT_OPERATIONS) for op in xclbin.llvm_module.walk()
+        )
+        assert any(s.name.startswith("convert-hls-to-llvm") for s in compiler.pass_statistics)
+
+    def test_pipeline_missing_bundle_assignment_is_completed(self, small_shape):
+        # Without convert-hls-to-llvm in the spec the compiler can still run
+        # the forgotten bundle stage itself (the interface ops are intact).
+        module = build_pw_advection(small_shape)
+        compiler = StencilHMLSCompiler(
+            CompilerOptions(),
+            pass_pipeline=f"canonicalize,{SUB_PASS_SPEC.replace(',hls-bundle-assignment', '')}",
+        )
+        xclbin = compiler.compile(module)
+        assert xclbin.plan.interfaces
+        assert xclbin.design.ports_per_cu == 7
+        assert any(s.name == "hls-bundle-assignment" for s in compiler.pass_statistics)
+
+    def test_bundle_assignment_after_llvm_lowering_rejected(self, small_shape):
+        # Once convert-hls-to-llvm ran, the hls.interface ops are gone; a
+        # bundle-less plan must be refused, not silently synthesised with
+        # zero AXI ports.
+        module = build_pw_advection(small_shape)
+        spec = (
+            f"canonicalize,{SUB_PASS_SPEC.replace(',hls-bundle-assignment', '')}"
+            ",convert-hls-to-llvm"
+        )
+        compiler = StencilHMLSCompiler(CompilerOptions(), pass_pipeline=spec)
+        with pytest.raises(ValueError, match="hls-bundle-assignment"):
+            compiler.compile(module)
+
+    def test_llvm_lowering_before_stencil_lowering_still_completes(self, small_shape):
+        # convert-hls-to-llvm scheduled first no-ops on a stencil module; the
+        # compiler must neither snapshot that raw module as "HLS" nor skip
+        # the real LLVM lowering afterwards.
+        module = build_pw_advection(small_shape)
+        compiler = StencilHMLSCompiler(
+            CompilerOptions(),
+            pass_pipeline="convert-hls-to-llvm,convert-stencil-to-hls",
+        )
+        xclbin = compiler.compile(module)
+        assert any(isinstance(op, hls.DIALECT_OPERATIONS) for op in xclbin.hls_module.walk())
+        assert not list(xclbin.hls_module.walk_type(stencil.ApplyOp))
+        assert not any(
+            isinstance(op, hls.DIALECT_OPERATIONS) for op in xclbin.llvm_module.walk()
+        )
+        assert xclbin.fpp_report.dataflow_functions > 0
+
+    def test_bundle_assignment_scheduled_after_llvm_rejected(self, small_shape):
+        module = build_pw_advection(small_shape)
+        spec = (
+            f"canonicalize,{SUB_PASS_SPEC.replace(',hls-bundle-assignment', '')}"
+            ",convert-hls-to-llvm,hls-bundle-assignment"
+        )
+        compiler = StencilHMLSCompiler(CompilerOptions(), pass_pipeline=spec)
+        with pytest.raises(ValueError, match="before\\s+.?convert-hls-to-llvm"):
+            compiler.compile(module)
+
+    def test_pipeline_without_stencil_lowering_fails_clearly(self, small_shape):
+        # The module *has* a kernel; the spec simply forgot the lowering.
+        module = build_pw_advection(small_shape)
+        compiler = StencilHMLSCompiler(CompilerOptions(), pass_pipeline="canonicalize")
+        with pytest.raises(ValueError, match="schedules no stencil lowering stage"):
+            compiler.compile(module)
+
+    def test_module_without_kernels_fails_clearly(self):
+        from repro.dialects.builtin import ModuleOp
+
+        compiler = StencilHMLSCompiler(CompilerOptions())
+        with pytest.raises(ValueError, match="no stencil kernel"):
+            compiler.compile(ModuleOp())
+
+    def test_stalled_pipeline_names_the_forgotten_stage(self, small_shape):
+        # Forgetting compute-split leaves kernels mid-lowering: the error must
+        # name the missing sub-pass, not claim the module has no kernel.
+        module = build_pw_advection(small_shape)
+        compiler = StencilHMLSCompiler(
+            CompilerOptions(),
+            pass_pipeline=(
+                "canonicalize,stencil-shape-inference,stencil-interface-lowering,"
+                "stencil-small-data-buffering,stencil-wave-pipelining,"
+                "convert-hls-to-llvm"
+            ),
+        )
+        with pytest.raises(ValueError, match="add 'stencil-compute-split'"):
+            compiler.compile(module)
+
+    def test_statistics_recorded_per_pass(self, small_shape):
+        module = build_pw_advection(small_shape)
+        compiler = StencilHMLSCompiler(CompilerOptions())
+        compiler.compile(module)
+        names = [s.name for s in compiler.pass_statistics]
+        assert names == ["canonicalize", "convert-stencil-to-hls", "convert-hls-to-llvm"]
+        assert all(s.seconds >= 0 for s in compiler.pass_statistics)
+        assert compiler.pass_statistics[1].changed
+
+    def test_select_plan_normalised_lookup(self, small_shape):
+        module = build_pw_advection(small_shape)
+        compiler = StencilHMLSCompiler(CompilerOptions())
+        artifacts = compiler.compile_with_artifacts(module, kernel_name="pw_advection")
+        assert artifacts.plan.kernel_name == "pw_advection_hls"
+        artifacts = compiler.compile_with_artifacts(module, kernel_name="pw_advection_hls")
+        assert artifacts.plan.kernel_name == "pw_advection_hls"
+
+    def test_select_plan_errors_list_available_kernels(self):
+        plans = {"a_hls": object(), "b_hls": object()}
+        with pytest.raises(ValueError, match="a_hls, b_hls"):
+            select_plan(plans, None)
+        with pytest.raises(KeyError, match="a_hls, b_hls"):
+            select_plan(plans, "missing")
+
+
+class TestOptionOverrides:
+    def test_aliases_and_coercion(self):
+        base = CompilerOptions()
+        resolved = resolve_option_overrides(
+            base, {"pack": 0, "depth": "32", "split": "false", "target_ii": 2}
+        )
+        assert resolved.pack_interfaces is False
+        assert resolved.stream_depth == 32
+        assert resolved.split_compute_per_field is False
+        assert resolved.target_ii == 2
+        # The base object is never mutated.
+        assert base.pack_interfaces is True and base.stream_depth == 16
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_option_overrides(CompilerOptions(), {"pack": "maybe"})
+        with pytest.raises(ValueError):
+            resolve_option_overrides(CompilerOptions(), {"width": 100})

@@ -1,0 +1,316 @@
+"""Tests for the worklist rewrite driver: golden equivalence with the sweep
+driver, detached-ancestor handling, and rewriter edge cases."""
+
+import pytest
+
+from repro.dialects import arith, scf
+from repro.dialects.builtin import ModuleOp
+from repro.dialects.func import FuncOp, ReturnOp
+from repro.ir.core import VerifyException
+from repro.ir.printer import print_module
+from repro.ir.rewriter import (
+    GreedyRewriteDriver,
+    PatternRewriter,
+    RewritePattern,
+    SweepRewriteDriver,
+    WorklistRewriteDriver,
+    apply_patterns,
+    is_detached,
+)
+from repro.ir.types import f64
+from repro.ir.verifier import verify_module
+from repro.kernels.pw_advection import build_pw_advection
+from repro.kernels.tracer_advection import build_tracer_advection
+from repro.transforms.canonicalize import FoldBinaryConstants, SimplifyIdentities
+from repro.transforms.cse import CSEPass
+from repro.transforms.dce import DCEPass
+
+
+def canonicalize_patterns():
+    return [FoldBinaryConstants(), SimplifyIdentities()]
+
+
+class TestGoldenEquivalence:
+    """The worklist driver must produce IR identical to the sweep driver."""
+
+    @pytest.mark.parametrize("builder", [build_pw_advection, build_tracer_advection])
+    def test_identical_ir_on_kernels(self, builder, small_shape):
+        module = builder(small_shape)
+        sweep_module = module.clone()
+        worklist_module = module.clone()
+
+        sweep_changed = SweepRewriteDriver(canonicalize_patterns()).rewrite_module(sweep_module)
+        worklist_changed = WorklistRewriteDriver(canonicalize_patterns()).rewrite_module(worklist_module)
+
+        assert sweep_changed == worklist_changed
+        assert print_module(worklist_module) == print_module(sweep_module)
+
+        # … and stays identical through the follow-up cleanup passes.
+        for module_ in (sweep_module, worklist_module):
+            CSEPass().apply(module_)
+            DCEPass().apply(module_)
+        assert print_module(worklist_module) == print_module(sweep_module)
+        verify_module(worklist_module)
+
+    def test_greedy_driver_is_the_worklist_driver(self):
+        assert GreedyRewriteDriver is WorklistRewriteDriver
+
+
+def _const_chain_module(n):
+    """f(x) = x + 0 + 0 + … (n identity adds)."""
+    module = ModuleOp()
+    func = FuncOp.with_body("f", [f64], [f64])
+    module.add_op(func)
+    zero = arith.ConstantOp.from_float(0.0)
+    func.entry_block.add_op(zero)
+    value = func.entry_block.args[0]
+    for _ in range(n):
+        add = arith.AddfOp(value, zero.result)
+        func.entry_block.add_op(add)
+        value = add.result
+    func.entry_block.add_op(ReturnOp([value]))
+    return module, func
+
+
+class TestWorklistConvergence:
+    def test_deep_chain_fully_converges(self):
+        # A chain deeper than the sweep driver's 32-iteration bound still
+        # reaches the fixpoint: work is scheduled per changed op, not per sweep.
+        module, func = _const_chain_module(200)
+        driver = WorklistRewriteDriver([SimplifyIdentities()])
+        assert driver.rewrite_module(module)
+        ret = func.entry_block.terminator
+        assert ret.operands[0] is func.entry_block.args[0]
+        assert driver.rewrites_applied == 200
+
+    def test_invocations_proportional_to_changes(self):
+        module, _ = _const_chain_module(500)
+        initial_ops = sum(1 for _ in module.walk())
+        driver = WorklistRewriteDriver(canonicalize_patterns())
+        driver.rewrite_module(module)
+        assert driver.rewrites_applied == 500
+        budget = len(driver.patterns) * (initial_ops + 6 * driver.rewrites_applied)
+        assert driver.pattern_invocations <= budget
+
+
+class _ErasePureLoops(RewritePattern):
+    """Erases every result-less scf.for loop (plus its body, implicitly)."""
+
+    op_type = scf.ForOp
+
+    def match_and_rewrite(self, op, rewriter):
+        if not op.results:
+            rewriter.erase_matched_op(safe=False)
+
+
+class _RecordingPattern(RewritePattern):
+    """Records every constant it is invoked on; must never see detached ops."""
+
+    op_type = arith.ConstantOp
+
+    def __init__(self):
+        self.visited = []
+
+    def match_and_rewrite(self, op, rewriter):
+        assert op.parent is not None
+        self.visited.append(op)
+
+
+def _loop_module():
+    module = ModuleOp()
+    func = FuncOp.with_body("f", [], [])
+    module.add_op(func)
+    zero = arith.ConstantOp.from_index(0)
+    ten = arith.ConstantOp.from_index(10)
+    one = arith.ConstantOp.from_index(1)
+    loop = scf.ForOp(zero.result, ten.result, one.result)
+    inner = arith.ConstantOp.from_float(42.0)
+    loop.body.add_ops([inner, scf.YieldOp()])
+    func.entry_block.add_ops([zero, ten, one, loop, ReturnOp([])])
+    return module, loop, inner
+
+
+class TestDetachedAncestors:
+    """Regression: ops nested inside an erased ancestor must not be visited."""
+
+    def test_is_detached_sees_through_erased_ancestors(self):
+        module, loop, inner = _loop_module()
+        assert not is_detached(inner, module)
+        loop.detach()
+        # The child's own parent chain is untouched …
+        assert inner.parent is not None
+        # … but the ancestor walk detects the detachment.
+        assert is_detached(inner, module)
+        assert is_detached(loop, module)
+
+    def test_worklist_driver_skips_children_of_erased_loop(self):
+        module, loop, inner = _loop_module()
+        recorder = _RecordingPattern()
+        # Pattern order puts the loop erasure first; the stale worklist still
+        # holds `inner`, which must be skipped once its ancestor is gone.
+        WorklistRewriteDriver([_ErasePureLoops(), recorder]).rewrite_module(module)
+        assert inner not in recorder.visited
+        # Top-level constants are still visited (possibly re-visited once the
+        # erased loop releases its uses of them), the nested one never.
+        assert len(set(recorder.visited)) == 3
+
+    def test_sweep_driver_also_skips_children_of_erased_loop(self):
+        module, loop, inner = _loop_module()
+        recorder = _RecordingPattern()
+        SweepRewriteDriver([_ErasePureLoops(), recorder]).rewrite_module(module)
+        assert inner not in recorder.visited
+
+    def test_was_erased_covers_nested_ops(self):
+        module, loop, inner = _loop_module()
+        rewriter = PatternRewriter(loop)
+        rewriter.erase_op(loop, safe=False)
+        assert rewriter.was_erased(loop)
+        assert rewriter.was_erased(inner)
+
+
+class _EraseDeadConstants(RewritePattern):
+    op_type = arith.ConstantOp
+
+    def match_and_rewrite(self, op, rewriter):
+        if all(res.num_uses == 0 for res in op.results):
+            rewriter.erase_matched_op()
+
+
+class TestErasedSubtreeFixpoint:
+    """Erasing a region-holding op must re-enqueue the defining ops of values
+    used only *inside* its regions, or DCE-style patterns miss the fixpoint
+    the sweep driver reaches."""
+
+    def _module_with_const_used_only_in_loop(self):
+        module = ModuleOp()
+        func = FuncOp.with_body("f", [], [])
+        module.add_op(func)
+        zero = arith.ConstantOp.from_index(0)
+        ten = arith.ConstantOp.from_index(10)
+        one = arith.ConstantOp.from_index(1)
+        payload = arith.ConstantOp.from_float(42.0)
+        loop = scf.ForOp(zero.result, ten.result, one.result)
+        use = arith.NegfOp(payload.result)
+        loop.body.add_ops([use, scf.YieldOp()])
+        func.entry_block.add_ops([zero, ten, one, payload, loop, ReturnOp([])])
+        return module, payload
+
+    def test_worklist_matches_sweep_after_region_erasure(self):
+        patterns = lambda: [_ErasePureLoops(), _EraseDeadConstants()]
+        sweep_module, _ = self._module_with_const_used_only_in_loop()
+        SweepRewriteDriver(patterns()).rewrite_module(sweep_module)
+        worklist_module, payload = self._module_with_const_used_only_in_loop()
+        WorklistRewriteDriver(patterns()).rewrite_module(worklist_module)
+        # The loop goes, and with it the only user of `payload` — both
+        # drivers must then erase the now-dead constant.
+        assert is_detached(payload, worklist_module)
+        assert print_module(worklist_module) == print_module(sweep_module)
+
+
+class _RetypeToZeroInPlace(RewritePattern):
+    """Mutates constants in place (attribute edit + notify_change)."""
+
+    op_type = arith.ConstantOp
+
+    def match_and_rewrite(self, op, rewriter):
+        from repro.ir.attributes import FloatAttr
+
+        attr = op.attributes["value"]
+        if isinstance(attr, FloatAttr) and attr.value == 7.0:
+            op.attributes["value"] = FloatAttr(0.0, attr.type)
+            rewriter.notify_change()
+
+
+class TestInPlaceMutationReenqueue:
+    def test_users_revisited_after_notify_change(self):
+        # Pattern A rewrites the 7.0 constant to 0.0 purely in place; the
+        # identity pattern on its user (x + 0 → x) only matches afterwards
+        # and must still fire without a full re-sweep.
+        module = ModuleOp()
+        func = FuncOp.with_body("f", [f64], [f64])
+        module.add_op(func)
+        seven = arith.ConstantOp.from_float(7.0)
+        add = arith.AddfOp(func.entry_block.args[0], seven.result)
+        func.entry_block.add_ops([seven, add, ReturnOp([add.result])])
+        WorklistRewriteDriver([_RetypeToZeroInPlace(), SimplifyIdentities()]).rewrite_module(module)
+        ret = func.entry_block.terminator
+        assert ret.operands[0] is func.entry_block.args[0]
+
+
+class _PingPattern(RewritePattern):
+    op_type = arith.AddfOp
+
+    def match_and_rewrite(self, op, rewriter):
+        rewriter.replace_matched_op(arith.SubfOp(op.operands[0], op.operands[1]))
+
+
+class _PongPattern(RewritePattern):
+    op_type = arith.SubfOp
+
+    def match_and_rewrite(self, op, rewriter):
+        rewriter.replace_matched_op(arith.AddfOp(op.operands[0], op.operands[1]))
+
+
+class TestRewriterEdgeCases:
+    def _mul_module(self):
+        module = ModuleOp()
+        func = FuncOp.with_body("f", [f64], [f64])
+        module.add_op(func)
+        arg = func.entry_block.args[0]
+        c = arith.ConstantOp.from_float(2.0)
+        mul = arith.MulfOp(arg, c.result)
+        func.entry_block.add_ops([c, mul, ReturnOp([mul.result])])
+        return module, func, c, mul
+
+    def test_replace_op_too_few_results_leaves_ir_untouched(self):
+        module, func, c, mul = self._mul_module()
+        rewriter = PatternRewriter(mul)
+        replacement = arith.NegfOp(func.entry_block.args[0])
+        with pytest.raises(VerifyException, match="expected 1 replacement"):
+            rewriter.replace_op(mul, [replacement], [])
+        # The mismatch is detected before mutation: nothing was inserted.
+        assert replacement.parent is None
+        assert mul.parent is func.entry_block
+        verify_module(module)
+
+    def test_replace_op_too_many_results_rejected(self):
+        module, func, c, mul = self._mul_module()
+        rewriter = PatternRewriter(mul)
+        with pytest.raises(VerifyException):
+            rewriter.replace_op(mul, [], [c.result, c.result])
+
+    def test_insertion_helpers(self):
+        module, func, c, mul = self._mul_module()
+        rewriter = PatternRewriter(mul)
+        before = arith.ConstantOp.from_float(1.0)
+        after = arith.ConstantOp.from_float(3.0)
+        at_start = arith.ConstantOp.from_float(4.0)
+        at_end = arith.ConstantOp.from_float(5.0)
+        rewriter.insert_op_before(before, mul)
+        rewriter.insert_op_after(after, mul)
+        rewriter.insert_op_at_start(at_start, func.entry_block)
+        block2_holder = FuncOp.with_body("g", [], [])
+        rewriter.insert_op_at_end(at_end, block2_holder.entry_block)
+        ops = func.entry_block.ops
+        assert ops[0] is at_start
+        assert ops.index(before) == ops.index(mul) - 1
+        assert ops.index(after) == ops.index(mul) + 1
+        assert block2_holder.entry_block.ops[-1] is at_end
+        assert rewriter.has_changed
+
+    def test_ping_pong_terminates_at_bound(self):
+        module, func, c, mul = self._mul_module()
+        add = arith.AddfOp(mul.result, c.result)
+        ret = func.entry_block.terminator
+        func.entry_block.insert_op_before(add, ret)
+        ret.replace_operand(0, add.result)
+        driver = WorklistRewriteDriver([_PingPattern(), _PongPattern()], max_iterations=4)
+        initial_ops = sum(1 for _ in module.walk())
+        assert driver.rewrite_module(module) is True
+        assert driver.rewrites_applied <= driver.max_iterations * initial_ops
+        verify_module(module)
+
+    def test_apply_patterns_reaches_fixpoint(self):
+        module, _ = _const_chain_module(8)
+        assert apply_patterns(module, canonicalize_patterns())
+        assert not apply_patterns(module, canonicalize_patterns())
