@@ -12,6 +12,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.core.compile_cache import CompileCache
 from repro.core.config import CompilerOptions
 from repro.core.pipeline import StencilHMLSCompiler
 from repro.ir.pass_registry import PipelineParseError
@@ -43,7 +44,12 @@ def main_compile(argv: list[str] | None = None) -> int:
         help="textual middle-end pipeline spec, e.g. "
         '"canonicalize,convert-stencil-to-hls{pack=0},convert-hls-to-llvm"',
     )
-    parser.add_argument("--timing", action="store_true", help="print per-pass statistics")
+    parser.add_argument("--timing", action="store_true",
+                        help="print per-pass statistics (and cache hit/miss counts)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="content-addressed compile cache directory")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache-dir and recompile from scratch")
     parser.add_argument("--print-hls", action="store_true", help="print the HLS-dialect IR")
     parser.add_argument("--print-llvm", action="store_true", help="print the annotated LLVM-dialect IR")
     parser.add_argument("--metadata", default=None, help="write xclbin metadata JSON to this path")
@@ -60,7 +66,10 @@ def main_compile(argv: list[str] | None = None) -> int:
         separate_bundles=not args.single_bundle,
     )
     device = device_by_name(args.device)
-    compiler = StencilHMLSCompiler(options, device, pass_pipeline=args.pass_pipeline)
+    cache = None
+    if args.cache_dir and not args.no_cache:
+        cache = CompileCache(args.cache_dir)
+    compiler = StencilHMLSCompiler(options, device, pass_pipeline=args.pass_pipeline, cache=cache)
     module = builder(shape)
     try:
         xclbin = compiler.compile(module)
@@ -80,7 +89,12 @@ def main_compile(argv: list[str] | None = None) -> int:
         print("per-pass statistics:")
         for stat in compiler.pass_statistics:
             status = "changed" if stat.changed else "no change"
+            if stat.note:
+                status += f" ({stat.note})"
             print(f"  {stat.name:<44} {stat.seconds * 1e3:9.3f} ms  {status}")
+        if cache is not None:
+            for line in cache.stats.summary_lines():
+                print(line)
     if args.print_hls and xclbin.hls_module is not None:
         print(print_module(xclbin.hls_module))
     if args.print_llvm and xclbin.llvm_module is not None:

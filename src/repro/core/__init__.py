@@ -1,5 +1,6 @@
 """The Stencil-HMLS compiler: configuration, dataflow plan and pipeline."""
 
+from repro.core.compile_cache import CacheKey, CacheStats, CompileCache
 from repro.core.config import CompilerOptions
 from repro.core.plan import (
     ComputeStageSpec,
@@ -15,6 +16,9 @@ from repro.core.plan import (
 )
 
 __all__ = [
+    "CacheKey",
+    "CacheStats",
+    "CompileCache",
     "CompilerOptions",
     "ComputeStageSpec",
     "DataflowPlan",

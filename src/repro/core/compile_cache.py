@@ -1,0 +1,208 @@
+"""Content-addressed compile-session cache.
+
+Entries are keyed by a :class:`CacheKey` — the canonical module hash
+(:func:`repro.ir.hashing.module_hash`), the *canonicalised* pass-pipeline
+spec (:func:`repro.ir.pass_registry.canonical_pipeline_spec`, so option
+differences such as ``stencil-to-hls{pack=0}`` vs ``{pack=1}`` can never
+collide), a fingerprint of the compiler options and a free-form ``extra``
+discriminator (device, clock, framework, …) — plus a *stage* name, so the
+compiler can reuse per-stage artefacts independently:
+
+* ``middle-end``  — device-independent pass-pipeline output
+  (HLS/LLVM modules, dataflow plans, f++ report, pass statistics)
+* ``synthesis``   — the device-specific :class:`KernelDesign`
+* ``result``      — a whole evaluation-harness :class:`FrameworkResult`
+
+The cache is two-tier: a per-process in-memory store (values are held as
+objects; callers clone mutable IR on the way in/out) and an optional
+on-disk tier under ``cache_dir`` (pickled, written atomically so parallel
+evaluation workers can share one directory).  Hit/miss/store counts are
+recorded per stage and surfaced by ``--timing`` / the bench CLI.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import sys
+import tempfile
+from collections import defaultdict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable
+
+#: Pickling an IR module recurses through its use-def web, whose depth grows
+#: with program length; the default interpreter limit (1000) is too small for
+#: the larger benchmark kernels.
+_PICKLE_RECURSION_LIMIT = 100_000
+
+
+@dataclass(frozen=True)
+class CacheKey:
+    """Content address of one compilation session."""
+
+    module_hash: str
+    pipeline: str = ""
+    options: str = ""
+    extra: str = ""
+
+    def digest(self, stage: str) -> str:
+        from repro.ir.hashing import fingerprint_text
+
+        return fingerprint_text(
+            "\x1f".join((stage, self.module_hash, self.pipeline, self.options, self.extra))
+        )
+
+
+@dataclass
+class CacheStats:
+    """Per-stage hit/miss/store counters."""
+
+    hits: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    misses: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    stores: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+    errors: int = 0
+
+    @property
+    def total_hits(self) -> int:
+        return sum(self.hits.values())
+
+    @property
+    def total_misses(self) -> int:
+        return sum(self.misses.values())
+
+    def as_dict(self) -> dict[str, Any]:
+        stages = sorted(set(self.hits) | set(self.misses) | set(self.stores))
+        return {
+            "hits": self.total_hits,
+            "misses": self.total_misses,
+            "errors": self.errors,
+            "stages": {
+                stage: {
+                    "hits": self.hits.get(stage, 0),
+                    "misses": self.misses.get(stage, 0),
+                    "stores": self.stores.get(stage, 0),
+                }
+                for stage in stages
+            },
+        }
+
+    def summary_lines(self) -> list[str]:
+        lines = [f"cache hits: {self.total_hits}, misses: {self.total_misses}"]
+        for stage, counts in self.as_dict()["stages"].items():
+            lines.append(
+                f"  {stage:<12} hits={counts['hits']} misses={counts['misses']} "
+                f"stores={counts['stores']}"
+            )
+        return lines
+
+
+class CompileCache:
+    """Two-tier (memory + optional disk) content-addressed artefact store."""
+
+    def __init__(self, cache_dir: str | Path | None = None) -> None:
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._memory: dict[str, Any] = {}
+        self.stats = CacheStats()
+
+    # -- paths ----------------------------------------------------------------
+
+    def _path(self, digest: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / digest[:2] / f"{digest}.pkl"
+
+    # -- pickle helpers -------------------------------------------------------
+
+    @staticmethod
+    def _dumps(value: Any) -> bytes:
+        limit = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(max(limit, _PICKLE_RECURSION_LIMIT))
+            return pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        finally:
+            sys.setrecursionlimit(limit)
+
+    @staticmethod
+    def _loads(blob: bytes) -> Any:
+        limit = sys.getrecursionlimit()
+        try:
+            sys.setrecursionlimit(max(limit, _PICKLE_RECURSION_LIMIT))
+            return pickle.loads(blob)
+        finally:
+            sys.setrecursionlimit(limit)
+
+    # -- core API -------------------------------------------------------------
+
+    def get(
+        self,
+        key: CacheKey,
+        stage: str,
+        *,
+        rehydrate: Callable[[Any], Any] | None = None,
+    ) -> Any | None:
+        """Look up one stage artefact; ``None`` means miss.
+
+        ``rehydrate`` post-processes the stored value (e.g. cloning cached
+        IR modules so callers can mutate their copy freely).
+        """
+        digest = key.digest(stage)
+        value: Any | None = None
+        if digest in self._memory:
+            value = self._memory[digest]
+        elif self.cache_dir is not None:
+            path = self._path(digest)
+            try:
+                blob = path.read_bytes()
+            except OSError:
+                blob = None
+            if blob is not None:
+                try:
+                    value = self._loads(blob)
+                    self._memory[digest] = value
+                except Exception:
+                    # A truncated/stale/unreadable entry is a miss, not a crash.
+                    self.stats.errors += 1
+                    value = None
+        if value is None:
+            self.stats.misses[stage] += 1
+            return None
+        self.stats.hits[stage] += 1
+        return rehydrate(value) if rehydrate is not None else value
+
+    def put(self, key: CacheKey, stage: str, value: Any) -> None:
+        digest = key.digest(stage)
+        self._memory[digest] = value
+        self.stats.stores[stage] += 1
+        if self.cache_dir is None:
+            return
+        path = self._path(digest)
+        try:
+            blob = self._dumps(value)
+        except Exception:
+            # Unpicklable artefacts stay memory-tier only.
+            self.stats.errors += 1
+            return
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(blob)
+                os.replace(tmp_name, path)  # atomic: parallel writers never clash
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            self.stats.errors += 1
+
+    # -- maintenance ----------------------------------------------------------
+
+    def clear_memory(self) -> None:
+        """Drop the in-memory tier (the disk tier, if any, stays)."""
+        self._memory.clear()
+
+    def __len__(self) -> int:
+        return len(self._memory)

@@ -26,8 +26,10 @@ statistics of the last compilation are kept on ``compiler.pass_statistics``.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 
+from repro.core.compile_cache import CacheKey, CompileCache
 from repro.core.config import CompilerOptions
 from repro.core.plan import DataflowPlan
 from repro.dialects import hls, stencil
@@ -36,7 +38,8 @@ from repro.fpga.device import ALVEO_U280, FPGADevice
 from repro.fpga.synthesis import KernelDesign, VitisHLSBackend
 from repro.fpga.xclbin import Xclbin
 from repro.fpp.preprocessor import FPPReport, run_fpp
-from repro.ir.pass_registry import PassRegistry
+from repro.ir.hashing import fingerprint_mapping, module_hash
+from repro.ir.pass_registry import PassRegistry, canonical_pipeline_spec
 from repro.ir.passes import PassContext, PassManager, PassStatistics
 from repro.ir.verifier import verify_module
 from repro.transforms.hls_to_llvm import HLSToLLVMPass
@@ -79,6 +82,35 @@ class CompilationArtifacts:
     pass_statistics: list[PassStatistics] = field(default_factory=list)
 
 
+@dataclass
+class MiddleEndResult:
+    """Device-independent output of the pass pipeline — the unit the
+    compile cache stores under the ``middle-end`` stage."""
+
+    hls_module: ModuleOp
+    llvm_module: ModuleOp
+    plans: dict[str, DataflowPlan]
+    fpp_report: FPPReport
+    pass_statistics: list[PassStatistics]
+
+    def clone(self, *, note: str = "") -> "MiddleEndResult":
+        """A copy whose IR modules the caller may freely mutate.
+
+        Plans/reports are treated as immutable and shared; statistics are
+        copied so a ``note`` (e.g. ``cached``) can be stamped per retrieval.
+        """
+        return MiddleEndResult(
+            hls_module=self.hls_module.clone(),
+            llvm_module=self.llvm_module.clone(),
+            plans=dict(self.plans),
+            fpp_report=self.fpp_report,
+            pass_statistics=[
+                dataclasses.replace(stat, note=note or stat.note)
+                for stat in self.pass_statistics
+            ],
+        )
+
+
 class StencilHMLSCompiler:
     """Compile stencil-dialect modules into simulated FPGA bitstreams."""
 
@@ -89,6 +121,7 @@ class StencilHMLSCompiler:
         clock_mhz: float | None = None,
         canonicalize: bool = True,
         pass_pipeline: str | None = None,
+        cache: CompileCache | None = None,
     ) -> None:
         self.options = options or CompilerOptions()
         self.options.validate()
@@ -96,12 +129,29 @@ class StencilHMLSCompiler:
         self.backend = VitisHLSBackend(device, clock_mhz)
         self.canonicalize = canonicalize
         self.pass_pipeline = pass_pipeline
+        #: Optional content-addressed artefact cache shared across sessions.
+        self.cache = cache
         #: Per-pass statistics of the most recent compilation.
         self.pass_statistics: list[PassStatistics] = []
 
     def default_pipeline(self) -> str:
         prefix = "canonicalize," if self.canonicalize else ""
         return f"{prefix}convert-stencil-to-hls,convert-hls-to-llvm"
+
+    def cache_key(self, stencil_module: ModuleOp, spec: str | None = None) -> CacheKey:
+        """Content address of compiling ``stencil_module`` with this compiler.
+
+        Device-independent: the ``middle-end`` stage uses it as-is, the
+        ``synthesis`` stage appends device/clock/kernel to ``extra``.  The
+        pipeline component is the *canonicalised* spec, so the full pass
+        list and every pass option participate in the key.
+        """
+        spec = spec or self.pass_pipeline or self.default_pipeline()
+        return CacheKey(
+            module_hash=module_hash(stencil_module),
+            pipeline=canonical_pipeline_spec(spec),
+            options=fingerprint_mapping(dataclasses.asdict(self.options)),
+        )
 
     # -- public API -------------------------------------------------------------
 
@@ -122,10 +172,53 @@ class StencilHMLSCompiler:
         self, stencil_module: ModuleOp, kernel_name: str | None = None
     ) -> CompilationArtifacts:
         verify_module(stencil_module)
-        # Work on a copy so the caller keeps the stencil-level module intact.
-        working: ModuleOp = stencil_module.clone()
-
         spec = self.pass_pipeline or self.default_pipeline()
+
+        key = self.cache_key(stencil_module, spec) if self.cache is not None else None
+        middle: MiddleEndResult | None = None
+        if self.cache is not None and key is not None:
+            middle = self.cache.get(
+                key, "middle-end", rehydrate=lambda m: m.clone(note="cached")
+            )
+        if middle is None:
+            middle = self._run_middle_end(stencil_module.clone(), spec)
+            if self.cache is not None and key is not None:
+                # Store a private copy: the caller may mutate the returned IR.
+                self.cache.put(key, "middle-end", middle.clone())
+        self.pass_statistics = list(middle.pass_statistics)
+
+        plan = select_plan(middle.plans, kernel_name)
+
+        design: KernelDesign | None = None
+        synth_key: CacheKey | None = None
+        if self.cache is not None and key is not None:
+            synth_key = dataclasses.replace(
+                key,
+                extra=f"device={self.device.name}|clock={self.backend.clock_mhz}"
+                f"|kernel={plan.kernel_name}",
+            )
+            design = self.cache.get(synth_key, "synthesis")
+        if design is None:
+            fpp_report = middle.fpp_report
+            # Vitis-HLS-like synthesis.  The plan carries the effective
+            # options (including any per-pass pipeline overrides).
+            design = self.backend.synthesise(plan, fpp_report, plan.options or self.options)
+            if self.cache is not None and synth_key is not None:
+                self.cache.put(synth_key, "synthesis", design)
+
+        return CompilationArtifacts(
+            stencil_module=stencil_module,
+            hls_module=middle.hls_module,
+            llvm_module=middle.llvm_module,
+            plan=plan,
+            fpp_report=middle.fpp_report,
+            design=design,
+            pass_statistics=list(self.pass_statistics),
+        )
+
+    # -- middle-end (device-independent pass pipeline) -----------------------
+
+    def _run_middle_end(self, working: ModuleOp, spec: str) -> MiddleEndResult:
         context = PassContext()
         context.set(LoweringContext(options=self.options))
         manager = PassRegistry.parse(spec, context=context)
@@ -143,7 +236,7 @@ class StencilHMLSCompiler:
                     snapshots["hls"] = module.clone()
 
         manager.run(working, on_pass_start=snapshot_hls)
-        self.pass_statistics = list(manager.statistics)
+        statistics = list(manager.statistics)
 
         lowering = context.get(LoweringContext)
         plans = dict(lowering.plans) if lowering is not None else {}
@@ -177,10 +270,8 @@ class StencilHMLSCompiler:
                 )
             bundle = PassManager([HLSBundleAssignmentPass()], context=context)
             bundle.run(working)
-            self.pass_statistics.extend(bundle.statistics)
+            statistics.extend(bundle.statistics)
             plans = dict(lowering.plans)
-
-        plan = select_plan(plans, kernel_name)
 
         hls_module = snapshots.get("hls")
         if any(isinstance(op, hls.DIALECT_OPERATIONS) for op in working.walk()):
@@ -190,22 +281,16 @@ class StencilHMLSCompiler:
                 hls_module = working.clone()
             tail = PassManager([HLSToLLVMPass()], context=context)
             tail.run(working)
-            self.pass_statistics.extend(tail.statistics)
+            statistics.extend(tail.statistics)
         elif hls_module is None:
             hls_module = working.clone()
 
         fpp_report = run_fpp(working)
 
-        # Vitis-HLS-like synthesis.  The plan carries the effective options
-        # (including any per-pass pipeline overrides).
-        design = self.backend.synthesise(plan, fpp_report, plan.options or self.options)
-
-        return CompilationArtifacts(
-            stencil_module=stencil_module,
+        return MiddleEndResult(
             hls_module=hls_module,
             llvm_module=working,
-            plan=plan,
+            plans=plans,
             fpp_report=fpp_report,
-            design=design,
-            pass_statistics=list(self.pass_statistics),
+            pass_statistics=statistics,
         )

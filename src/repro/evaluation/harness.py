@@ -1,18 +1,31 @@
 """The experiment runner regenerating the paper's evaluation.
 
-For every (framework, kernel, problem size) combination the harness builds
-the stencil-dialect module at that size, compiles it with the framework's
-flow, models one execution on the simulated U280 and records performance
-(MPt/s), power, energy, resource utilisation and any failure the framework
-exhibits (compilation failure, deadlock, unsupported kernel) — the same
-outcomes §4 reports.
+For every (framework, kernel, problem size, pipeline variant) combination
+the harness builds the stencil-dialect module at that size, compiles it
+with the framework's flow, models one execution on the simulated U280 and
+records performance (MPt/s), power, energy, resource utilisation and any
+failure the framework exhibits (compilation failure, deadlock, unsupported
+kernel) — the same outcomes §4 reports.
+
+Since the caching/parallel-evaluation rework the harness is a *scenario
+matrix* runner:
+
+* :meth:`EvaluationHarness.cases_for` expands a cartesian
+  kernel × size × framework × pipeline-variant product into cases;
+* :meth:`EvaluationHarness.run_matrix` dispatches the cases over a
+  ``concurrent.futures`` process pool (``jobs > 1``) with deterministic
+  result ordering — parallel and serial runs produce identical reports;
+* a content-addressed :class:`~repro.core.compile_cache.CompileCache`
+  (``cache=``) lets fully-evaluated cases be skipped on warm re-runs and
+  shares per-stage compile artefacts between cases.
 """
 
 from __future__ import annotations
 
 import statistics
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, Iterable, Sequence, Type
+from typing import Any, Callable, Iterable, Sequence, Type
 
 from repro.baselines import (
     ALL_FRAMEWORKS,
@@ -21,9 +34,13 @@ from repro.baselines import (
     Framework,
     UnsupportedKernelError,
 )
+from repro.baselines.stencil_hmls import StencilHMLSFramework
+from repro.core.compile_cache import CacheKey, CompileCache
 from repro.dialects.builtin import ModuleOp
 from repro.evaluation.metrics import FrameworkResult
-from repro.fpga.device import ALVEO_U280, FPGADevice
+from repro.fpga.device import ALVEO_U280, FPGADevice, device_by_name
+from repro.ir.hashing import module_hash
+from repro.ir.pass_registry import canonical_pipeline_spec
 from repro.kernels.grids import PW_ADVECTION_SIZES, TRACER_ADVECTION_SIZES, ProblemSize
 from repro.kernels.pw_advection import build_pw_advection
 from repro.kernels.tracer_advection import build_tracer_advection
@@ -31,14 +48,23 @@ from repro.kernels.tracer_advection import build_tracer_advection
 
 @dataclass(frozen=True)
 class BenchmarkCase:
-    """One kernel at one problem size."""
+    """One matrix scenario: a kernel at one problem size, optionally pinned
+    to a single framework and/or a named pipeline variant."""
 
     kernel: str
     size: ProblemSize
+    #: ``None`` expands over the frameworks passed to :meth:`run_matrix`.
+    framework: str | None = None
+    variant: str = "default"
 
     @property
     def label(self) -> str:
-        return f"{self.kernel}/{self.size.label}"
+        label = f"{self.kernel}/{self.size.label}"
+        if self.framework is not None:
+            label += f"/{self.framework}"
+        if self.variant != "default":
+            label += f"@{self.variant}"
+        return label
 
 
 KERNEL_BUILDERS: dict[str, Callable[[tuple[int, int, int]], ModuleOp]] = {
@@ -51,12 +77,62 @@ KERNEL_SIZES: dict[str, dict[str, ProblemSize]] = {
     "tracer_advection": TRACER_ADVECTION_SIZES,
 }
 
+#: Named Stencil-HMLS pass-pipeline variants for matrix sweeps.  ``None``
+#: means the compiler's default pipeline; baselines model fixed flows, so
+#: non-default variants only ever pair with Stencil-HMLS.
+PIPELINE_VARIANTS: dict[str, str | None] = {
+    "default": None,
+    "no-pack": "canonicalize,convert-stencil-to-hls{pack=0},convert-hls-to-llvm",
+    "no-split": "canonicalize,convert-stencil-to-hls{split=0},convert-hls-to-llvm",
+    "single-bundle": "canonicalize,convert-stencil-to-hls{bundles=0},convert-hls-to-llvm",
+}
+
+FRAMEWORKS_BY_NAME: dict[str, Type[Framework]] = {cls.name: cls for cls in ALL_FRAMEWORKS}
+
 #: Every case evaluated in the paper (Figures 4-6, Tables 1-2).
 DEFAULT_CASES: list[BenchmarkCase] = [
     BenchmarkCase("pw_advection", size) for size in PW_ADVECTION_SIZES.values()
 ] + [
     BenchmarkCase("tracer_advection", size) for size in TRACER_ADVECTION_SIZES.values()
 ]
+
+
+def _resolve_framework_names(
+    frameworks: Sequence[Type[Framework] | str] | None,
+) -> list[str]:
+    if frameworks is None:
+        return [cls.name for cls in ALL_FRAMEWORKS]
+    names: list[str] = []
+    for entry in frameworks:
+        name = entry if isinstance(entry, str) else entry.name
+        if name not in FRAMEWORKS_BY_NAME:
+            raise KeyError(
+                f"unknown framework '{name}' (known: {', '.join(FRAMEWORKS_BY_NAME)})"
+            )
+        names.append(name)
+    return names
+
+
+def _run_case_payload(payload: dict[str, Any]) -> dict[str, Any]:
+    """Process-pool worker: evaluate one fully-pinned case.
+
+    Takes and returns plain dicts so payloads cross process boundaries
+    cheaply; workers never touch the shared cache (the parent stores
+    results), so no cross-process locking is needed.
+    """
+    harness = EvaluationHarness(
+        device=device_by_name(payload["device"]), repeats=payload["repeats"]
+    )
+    case = BenchmarkCase(
+        kernel=payload["kernel"],
+        # Rebuilt from label+shape (not a KERNEL_SIZES lookup) so custom
+        # ProblemSizes evaluate identically in serial and parallel runs.
+        size=ProblemSize(payload["size"], tuple(payload["shape"])),
+        framework=payload["framework"],
+        variant=payload.get("variant", "default"),
+    )
+    result = harness.run_case(FRAMEWORKS_BY_NAME[payload["framework"]], case)
+    return result.as_dict()
 
 
 @dataclass
@@ -66,7 +142,13 @@ class EvaluationHarness:
     device: FPGADevice = ALVEO_U280
     #: The paper averages every measurement over 10 runs.
     repeats: int = 10
+    #: Optional content-addressed cache: whole-case results are reused on
+    #: warm runs and compile artefacts are shared between cases.
+    cache: CompileCache | None = None
+    #: Default process-pool width for :meth:`run_matrix` (1 = in-process).
+    jobs: int = 1
     _module_cache: dict[tuple[str, tuple[int, int, int]], ModuleOp] = field(default_factory=dict)
+    _hash_cache: dict[tuple[str, tuple[int, int, int]], str] = field(default_factory=dict)
 
     # -- module construction -------------------------------------------------------
 
@@ -79,16 +161,48 @@ class EvaluationHarness:
             self._module_cache[key] = builder(shape)
         return self._module_cache[key]
 
+    def module_hash_for(self, kernel: str, shape: tuple[int, int, int]) -> str:
+        key = (kernel, tuple(shape))
+        if key not in self._hash_cache:
+            self._hash_cache[key] = module_hash(self.build_module(kernel, shape))
+        return self._hash_cache[key]
+
     # -- single case ------------------------------------------------------------------
 
-    def run_case(self, framework: Framework | Type[Framework], case: BenchmarkCase) -> FrameworkResult:
+    def _framework_instance(
+        self, framework: Framework | Type[Framework], case: BenchmarkCase
+    ) -> Framework:
+        variant_spec = PIPELINE_VARIANTS.get(case.variant, case.variant)
         if isinstance(framework, type):
+            if issubclass(framework, StencilHMLSFramework):
+                return framework(
+                    self.device, pass_pipeline=variant_spec, cache=self.cache
+                )
             framework = framework(self.device)
+        if case.variant != "default":
+            if not isinstance(framework, StencilHMLSFramework):
+                raise ValueError(
+                    f"pipeline variant '{case.variant}' only applies to Stencil-HMLS, "
+                    f"not {framework.name}"
+                )
+            if framework.pass_pipeline != variant_spec:
+                # Refuse rather than silently mislabel: the instance would run
+                # its own pipeline while the result claims `case.variant`.
+                raise ValueError(
+                    f"framework instance runs pipeline {framework.pass_pipeline!r}, "
+                    f"which is not variant '{case.variant}' ({variant_spec!r}); "
+                    "pass the framework class to let the harness apply the variant"
+                )
+        return framework
+
+    def run_case(self, framework: Framework | Type[Framework], case: BenchmarkCase) -> FrameworkResult:
+        framework = self._framework_instance(framework, case)
         result = FrameworkResult(
             framework=framework.name,
             kernel=case.kernel,
             size_label=case.size.label,
             points=case.size.points,
+            variant=case.variant,
         )
         module = self.build_module(case.kernel, case.size.shape)
         try:
@@ -127,22 +241,174 @@ class EvaluationHarness:
         result.energy_j = power.average_power_w * runtime_s
         return result
 
+    # -- caching ------------------------------------------------------------------------
+
+    def _result_key(self, case: BenchmarkCase, framework_name: str) -> CacheKey:
+        variant_spec = PIPELINE_VARIANTS.get(case.variant, case.variant)
+        pipeline = ""
+        if framework_name == StencilHMLSFramework.name:
+            # Embed the full canonicalised pipeline + options of the variant:
+            # `…{pack=0}` and `…{pack=1}` sweeps must never share an entry.
+            from repro.core.pipeline import StencilHMLSCompiler
+
+            spec = variant_spec or StencilHMLSCompiler().default_pipeline()
+            pipeline = canonical_pipeline_spec(spec)
+        return CacheKey(
+            module_hash=self.module_hash_for(case.kernel, case.size.shape),
+            pipeline=pipeline,
+            extra=(
+                f"framework={framework_name}|variant={case.variant}"
+                f"|device={self.device.name}|repeats={max(self.repeats, 1)}"
+            ),
+        )
+
     # -- sweeps -------------------------------------------------------------------------
+
+    def run_matrix(
+        self,
+        cases: Iterable[BenchmarkCase] | None = None,
+        frameworks: Sequence[Type[Framework] | str] | None = None,
+        *,
+        jobs: int | None = None,
+    ) -> list[FrameworkResult]:
+        """Evaluate a scenario matrix, optionally in parallel and cached.
+
+        Cases with ``framework=None`` expand over ``frameworks`` (all five
+        by default).  Results come back in deterministic case-major order
+        regardless of ``jobs`` or cache state.
+        """
+        cases = list(cases) if cases is not None else list(DEFAULT_CASES)
+        framework_names = _resolve_framework_names(frameworks)
+        jobs = self.jobs if jobs is None else jobs
+
+        # 1. Expand the matrix into fully-pinned slots, in deterministic order.
+        slots: list[tuple[BenchmarkCase, str]] = []
+        for case in cases:
+            if case.framework is not None:
+                pinned = [case.framework]
+            else:
+                # Pipeline variants describe Stencil-HMLS pass pipelines; an
+                # unpinned non-default-variant case never expands to baselines.
+                pinned = [
+                    name
+                    for name in framework_names
+                    if case.variant == "default" or name == StencilHMLSFramework.name
+                ]
+                if not pinned:
+                    raise ValueError(
+                        f"case {case.label}: pipeline variant '{case.variant}' needs "
+                        f"{StencilHMLSFramework.name}, which is not in the framework "
+                        f"selection ({', '.join(framework_names)})"
+                    )
+            for name in pinned:
+                if name not in FRAMEWORKS_BY_NAME:
+                    raise KeyError(
+                        f"unknown framework '{name}' (known: {', '.join(FRAMEWORKS_BY_NAME)})"
+                    )
+                slots.append((case, name))
+
+        # 2. Cache-aware skipping: fill whole-case hits straight from the cache.
+        results: list[FrameworkResult | None] = [None] * len(slots)
+        keys: list[CacheKey | None] = [None] * len(slots)
+        pending: list[int] = []
+        for index, (case, name) in enumerate(slots):
+            if self.cache is not None:
+                keys[index] = self._result_key(case, name)
+                payload = self.cache.get(keys[index], "result")
+                if payload is not None:
+                    results[index] = FrameworkResult.from_dict(payload)
+                    continue
+            pending.append(index)
+
+        # 3. Evaluate the misses — in-process, or over a process pool.
+        if jobs > 1 and len(pending) > 1:
+            payloads = [
+                {
+                    "kernel": slots[i][0].kernel,
+                    "size": slots[i][0].size.label,
+                    "shape": list(slots[i][0].size.shape),
+                    "framework": slots[i][1],
+                    "variant": slots[i][0].variant,
+                    "device": self.device.name,
+                    "repeats": self.repeats,
+                }
+                for i in pending
+            ]
+            with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
+                fresh = list(pool.map(_run_case_payload, payloads))
+            for index, payload in zip(pending, fresh):
+                results[index] = FrameworkResult.from_dict(payload)
+        else:
+            for index in pending:
+                case, name = slots[index]
+                results[index] = self.run_case(FRAMEWORKS_BY_NAME[name], case)
+
+        # 4. Store fresh results for the next warm run.
+        if self.cache is not None:
+            for index in pending:
+                key = keys[index]
+                if key is not None:
+                    self.cache.put(key, "result", results[index].as_dict())
+
+        return [result for result in results if result is not None]
 
     def run_all(
         self,
         frameworks: Sequence[Type[Framework]] | None = None,
         cases: Iterable[BenchmarkCase] | None = None,
+        *,
+        jobs: int | None = None,
     ) -> list[FrameworkResult]:
-        frameworks = list(frameworks) if frameworks is not None else list(ALL_FRAMEWORKS)
-        cases = list(cases) if cases is not None else list(DEFAULT_CASES)
-        results: list[FrameworkResult] = []
-        for case in cases:
-            for framework_cls in frameworks:
-                results.append(self.run_case(framework_cls, case))
-        return results
+        return self.run_matrix(cases=cases, frameworks=frameworks, jobs=jobs)
 
-    def cases_for(self, kernel: str, size_labels: Sequence[str] | None = None) -> list[BenchmarkCase]:
-        sizes = KERNEL_SIZES[kernel]
-        labels = size_labels if size_labels is not None else list(sizes)
-        return [BenchmarkCase(kernel, sizes[label]) for label in labels]
+    def cases_for(
+        self,
+        kernels: str | Sequence[str] | None = None,
+        sizes: Sequence[str] | None = None,
+        frameworks: Sequence[Type[Framework] | str] | None = None,
+        variants: Sequence[str] | None = None,
+    ) -> list[BenchmarkCase]:
+        """Cartesian kernel × size × framework × variant case expansion.
+
+        With only ``kernels``/``sizes`` given this returns unpinned cases
+        (one per kernel × size, the historical behaviour).  Passing
+        ``frameworks``/``variants`` pins each case; non-default pipeline
+        variants pair only with Stencil-HMLS, since the baselines model
+        fixed flows.
+        """
+        if isinstance(kernels, str):
+            kernels = [kernels]
+        kernel_list = list(kernels) if kernels is not None else list(KERNEL_BUILDERS)
+        framework_names: list[str | None]
+        if frameworks is None:
+            framework_names = [None]
+        else:
+            framework_names = list(_resolve_framework_names(frameworks))
+        variant_list = list(variants) if variants is not None else ["default"]
+        for variant in variant_list:
+            if variant not in PIPELINE_VARIANTS:
+                raise KeyError(
+                    f"unknown pipeline variant '{variant}' "
+                    f"(known: {', '.join(PIPELINE_VARIANTS)})"
+                )
+
+        expanded: list[BenchmarkCase] = []
+        for kernel in kernel_list:
+            if kernel not in KERNEL_SIZES:
+                raise KeyError(
+                    f"unknown kernel '{kernel}' (known: {', '.join(KERNEL_SIZES)})"
+                )
+            size_table = KERNEL_SIZES[kernel]
+            labels = list(sizes) if sizes is not None else list(size_table)
+            for label in labels:
+                for name in framework_names:
+                    for variant in variant_list:
+                        if variant != "default" and name not in (
+                            None,
+                            StencilHMLSFramework.name,
+                        ):
+                            continue
+                        expanded.append(
+                            BenchmarkCase(kernel, size_table[label], name, variant)
+                        )
+        return expanded

@@ -32,6 +32,8 @@ class FrameworkResult:
     kernel: str
     size_label: str
     points: int
+    #: Pipeline variant evaluated (see ``evaluation.harness.PIPELINE_VARIANTS``).
+    variant: str = "default"
     status: str = "ok"            # 'ok' | 'compile_failed' | 'deadlock' | 'unsupported'
     mpts: float = 0.0
     runtime_s: float = 0.0
@@ -60,6 +62,7 @@ class FrameworkResult:
             "kernel": self.kernel,
             "size": self.size_label,
             "points": self.points,
+            "variant": self.variant,
             "status": self.status,
             "mpts": self.mpts,
             "runtime_s": self.runtime_s,
@@ -72,6 +75,28 @@ class FrameworkResult:
             "notes": self.notes,
             "pass_statistics": self.pass_statistics,
         }
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "FrameworkResult":
+        """Rebuild a result from :meth:`as_dict` output (cache / JSON merge)."""
+        return cls(
+            framework=payload["framework"],
+            kernel=payload["kernel"],
+            size_label=payload["size"],
+            points=payload["points"],
+            variant=payload.get("variant", "default"),
+            status=payload.get("status", "ok"),
+            mpts=payload.get("mpts", 0.0),
+            runtime_s=payload.get("runtime_s", 0.0),
+            average_power_w=payload.get("average_power_w", 0.0),
+            energy_j=payload.get("energy_j", 0.0),
+            achieved_ii=payload.get("achieved_ii", 0),
+            compute_units=payload.get("compute_units", 0),
+            utilisation=dict(payload.get("utilisation", {})),
+            error=payload.get("error", ""),
+            notes=list(payload.get("notes", [])),
+            pass_statistics=[dict(s) for s in payload.get("pass_statistics", [])],
+        )
 
 
 def speedup(result: FrameworkResult, baseline: FrameworkResult) -> float:

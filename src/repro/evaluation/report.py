@@ -16,8 +16,9 @@ from __future__ import annotations
 import argparse
 import json
 from pathlib import Path
-from typing import Iterable
+from typing import Any, Iterable
 
+from repro.core.compile_cache import CompileCache
 from repro.evaluation.figures import (
     FIGURE_FRAMEWORKS,
     figure4_performance,
@@ -73,10 +74,62 @@ def format_table(rows: list[dict], title: str) -> str:
     return "\n".join(lines)
 
 
-def results_to_json(results: Iterable[FrameworkResult], path: str | Path | None = None) -> str:
-    payload = json.dumps([r.as_dict() for r in results], indent=2, sort_keys=True)
+def _deterministic_entry(entry: dict[str, Any]) -> dict[str, Any]:
+    """Strip run-dependent noise — per-pass seconds and cache-provenance
+    notes — so reports compare byte-for-byte across serial/parallel/cached
+    runs."""
+    entry = dict(entry)
+    entry["pass_statistics"] = [
+        {k: v for k, v in stat.items() if k not in ("seconds", "note")}
+        for stat in entry.get("pass_statistics", [])
+    ]
+    return entry
+
+
+def results_to_json(
+    results: Iterable[FrameworkResult],
+    path: str | Path | None = None,
+    *,
+    deterministic: bool = False,
+) -> str:
+    entries = [r.as_dict() for r in results]
+    if deterministic:
+        entries = [_deterministic_entry(e) for e in entries]
+    payload = json.dumps(entries, indent=2, sort_keys=True)
     if path is not None:
         Path(path).write_text(payload)
+    return payload
+
+
+def merge_results(*result_sets: Iterable[dict[str, Any]]) -> list[dict[str, Any]]:
+    """Merge JSON result lists, deduplicating by scenario identity.
+
+    Later sets win on conflicts (a re-run supersedes stale entries); output
+    order is deterministic — sorted by kernel, size, framework and variant —
+    so merged reports from any shard/job split compare byte-for-byte.
+    """
+    merged: dict[tuple, dict[str, Any]] = {}
+    for result_set in result_sets:
+        for entry in result_set:
+            key = (
+                entry["kernel"],
+                entry["size"],
+                entry["framework"],
+                entry.get("variant", "default"),
+            )
+            merged[key] = entry
+    return [
+        merged[key]
+        for key in sorted(merged, key=lambda k: (k[0], str(k[1]), k[2], k[3]))
+    ]
+
+
+def merge_result_files(paths: Iterable[str | Path], output: str | Path | None = None) -> str:
+    """Merge several ``results.json`` shards into one deterministic report."""
+    merged = merge_results(*(json.loads(Path(p).read_text()) for p in paths))
+    payload = json.dumps(merged, indent=2, sort_keys=True)
+    if output is not None:
+        Path(output).write_text(payload)
     return payload
 
 
@@ -112,14 +165,25 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--quick", action="store_true", help="smallest problem sizes only")
     parser.add_argument("--output", type=str, default=None, help="write results.json here")
     parser.add_argument("--repeats", type=int, default=10, help="runs to average over")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="evaluate cases over N worker processes (default: serial)")
+    parser.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
+                        help="content-addressed compile/result cache directory")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore --cache-dir and recompute everything")
+    parser.add_argument("--deterministic", action="store_true",
+                        help="strip wall-clock noise from --output JSON so runs compare byte-for-byte")
     args = parser.parse_args(argv)
 
-    harness = EvaluationHarness(repeats=args.repeats)
+    cache = None
+    if args.cache_dir and not args.no_cache:
+        cache = CompileCache(args.cache_dir)
+    harness = EvaluationHarness(repeats=args.repeats, cache=cache, jobs=max(args.jobs, 1))
     cases = _quick_cases() if args.quick else list(DEFAULT_CASES)
-    results = harness.run_all(cases=cases)
+    results = harness.run_matrix(cases=cases)
 
     if args.output:
-        results_to_json(results, args.output)
+        results_to_json(results, args.output, deterministic=args.deterministic)
 
     if args.figure == 4:
         fig = figure4_performance(results)
@@ -142,6 +206,9 @@ def main(argv: list[str] | None = None) -> int:
         print(format_table(table2_tracer_resources(results), "Table 2: resource usage, tracer advection"))
     else:
         print(generate_all(results))
+    if cache is not None:
+        for line in cache.stats.summary_lines():
+            print(line)
     return 0
 
 

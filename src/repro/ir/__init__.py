@@ -23,6 +23,7 @@ from repro.ir.core import (
     VerifyException,
 )
 from repro.ir.builder import Builder, InsertPoint
+from repro.ir.hashing import canonical_module_text, module_hash
 from repro.ir.parser import ParseError, parse_module
 from repro.ir.printer import Printer, print_module
 from repro.ir.rewriter import (
@@ -56,6 +57,8 @@ __all__ = [
     "RewritePattern",
     "SSAValue",
     "VerifyException",
+    "canonical_module_text",
+    "module_hash",
     "parse_module",
     "print_module",
     "verify_module",

@@ -1,0 +1,71 @@
+"""Canonical module serialization and stable content hashing.
+
+The compile cache (:mod:`repro.core.compile_cache`) needs a *content
+address* for IR modules: two modules that are structurally identical must
+hash the same, and any op or attribute mutation must change the hash.  The
+regular printer is deterministic but honours ``name_hint``, so a
+print→parse round-trip (which turns printed names back into hints) could
+alter the text.  The canonical form therefore ignores hints entirely and
+numbers SSA values purely positionally; everything else — op names, sorted
+attributes, operand/result types, region structure — is inherited from the
+deterministic printer.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Mapping
+
+from repro.ir.core import Operation, SSAValue
+from repro.ir.printer import Printer
+
+
+class CanonicalPrinter(Printer):
+    """A printer whose SSA names are positional only (hints are ignored)."""
+
+    def name_of(self, value: SSAValue) -> str:
+        name = self._names.get(value)
+        if name is None:
+            name = f"%{self._counter}"
+            self._counter += 1
+            self._names[value] = name
+        return name
+
+
+def canonical_module_text(op: Operation) -> str:
+    """The canonical (hint-free, deterministic) textual form of ``op``."""
+    printer = CanonicalPrinter()
+    printer.print_operation(op)
+    return printer.result()
+
+
+def module_hash(op: Operation) -> str:
+    """Stable content hash (sha256 hex) of an operation/module.
+
+    Invariant under print→parse round-trips and under SSA-value renaming;
+    changes whenever any op, type or attribute changes.
+    """
+    return hashlib.sha256(canonical_module_text(op).encode("utf-8")).hexdigest()
+
+
+def fingerprint_text(text: str) -> str:
+    """sha256 hex digest of a piece of text."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _jsonable(obj: Any) -> Any:
+    if isinstance(obj, Mapping):
+        return {str(k): _jsonable(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        items = [_jsonable(o) for o in obj]
+        return sorted(items, key=repr) if isinstance(obj, (set, frozenset)) else items
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    return repr(obj)
+
+
+def fingerprint_mapping(mapping: Mapping[str, Any]) -> str:
+    """Stable digest of a (possibly nested) option mapping."""
+    payload = json.dumps(_jsonable(mapping), sort_keys=True, separators=(",", ":"))
+    return fingerprint_text(payload)

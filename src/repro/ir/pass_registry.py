@@ -192,6 +192,20 @@ class PassRegistry:
         return registry.build_pipeline(spec, context=context, verify_each=verify_each)
 
 
+def canonical_pipeline_spec(spec: str, *, registry: PassRegistry | None = None) -> str:
+    """Canonicalise a textual pipeline spec.
+
+    Aliases resolve to canonical pass names and every pass renders its
+    *effective* options (via :meth:`~repro.ir.passes.ModulePass.describe`),
+    so two specs spelling the same pipeline differently canonicalise to the
+    same string while any option difference — e.g. ``stencil-to-hls{pack=0}``
+    vs ``{pack=1}`` — is preserved.  This is what cache keys must embed.
+    """
+    registry = registry or PassRegistry.default()
+    passes = [registry.create(name, options) for name, options in parse_pipeline_spec(spec)]
+    return ",".join(p.describe() for p in passes)
+
+
 def _register_builtin_passes(registry: PassRegistry) -> None:
     # Imported lazily: the transform layer imports repro.ir, not vice versa.
     from repro.transforms.canonicalize import CanonicalizePass

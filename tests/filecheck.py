@@ -1,0 +1,172 @@
+"""FileCheck-lite: golden-IR matching in the spirit of LLVM's FileCheck.
+
+Supported directives (with the default ``CHECK`` prefix):
+
+* ``CHECK: <pat>``       — match the first line at/after the current
+  position containing the pattern; the position advances past it.
+* ``CHECK-NEXT: <pat>``  — the *immediately following* line must match.
+* ``CHECK-DAG: <pat>``   — consecutive ``CHECK-DAG`` directives form a
+  group whose patterns may match in any order; the position then advances
+  past the furthest match.
+* ``CHECK-NOT: <pat>``   — the pattern must not occur between the previous
+  match and the next positive match (or the end of input).
+
+Patterns are literal substrings except for ``{{...}}`` segments, which are
+regular expressions (e.g. ``%{{[0-9]+}}``).  Directives may live in a
+standalone check file (lines starting with ``//`` comments are fine) or be
+embedded in any text handed to :func:`parse_check_lines`.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable
+
+
+class FileCheckError(AssertionError):
+    """A CHECK directive failed to match (or a check file is malformed)."""
+
+
+@dataclass(frozen=True)
+class CheckDirective:
+    kind: str          # 'check' | 'next' | 'dag' | 'not'
+    pattern: str       # raw pattern text as written
+    regex: "re.Pattern[str]"
+    line_no: int       # line in the check file, for error messages
+
+    def describe(self) -> str:
+        suffix = {"check": "", "next": "-NEXT", "dag": "-DAG", "not": "-NOT"}[self.kind]
+        return f"CHECK{suffix}: {self.pattern}  (check line {self.line_no})"
+
+
+def compile_pattern(pattern: str) -> "re.Pattern[str]":
+    """Literal text with ``{{...}}`` regex islands → compiled regex."""
+    parts: list[str] = []
+    pos = 0
+    while True:
+        start = pattern.find("{{", pos)
+        if start < 0:
+            parts.append(re.escape(pattern[pos:]))
+            break
+        end = pattern.find("}}", start + 2)
+        if end < 0:
+            raise FileCheckError(f"unterminated '{{{{' in pattern: {pattern!r}")
+        parts.append(re.escape(pattern[pos:start]))
+        parts.append(f"(?:{pattern[start + 2:end]})")
+        pos = end + 2
+    return re.compile("".join(parts))
+
+
+def parse_check_lines(text: str, *, prefix: str = "CHECK") -> list[CheckDirective]:
+    """Extract CHECK directives from a check file / annotated source."""
+    directives: list[CheckDirective] = []
+    spec = re.compile(rf"{re.escape(prefix)}(-NEXT|-DAG|-NOT)?\s*:\s?(.*)$")
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        found = spec.search(line)
+        if found is None:
+            continue
+        kind = {None: "check", "-NEXT": "next", "-DAG": "dag", "-NOT": "not"}[found.group(1)]
+        pattern = found.group(2).rstrip()
+        directives.append(
+            CheckDirective(kind, pattern, compile_pattern(pattern), line_no)
+        )
+    return directives
+
+
+def _fail(directive: CheckDirective, lines: list[str], position: int, reason: str) -> None:
+    window = "\n".join(
+        f"    {i + 1:>4} | {line}"
+        for i, line in enumerate(lines)
+        if position <= i < position + 8
+    )
+    raise FileCheckError(
+        f"{reason}\n  directive: {directive.describe()}\n"
+        f"  scanning from input line {position + 1}:\n{window or '    <end of input>'}"
+    )
+
+
+def run_filecheck(
+    text: str,
+    checks: str | Path | Iterable[CheckDirective],
+    *,
+    prefix: str = "CHECK",
+) -> None:
+    """Verify ``text`` against CHECK directives; raises :class:`FileCheckError`.
+
+    ``checks`` may be a check-file path, the check file's contents, or
+    pre-parsed directives.
+    """
+    if isinstance(checks, Path):
+        directives = parse_check_lines(checks.read_text(), prefix=prefix)
+    elif isinstance(checks, str):
+        directives = parse_check_lines(checks, prefix=prefix)
+    else:
+        directives = list(checks)
+    if not directives:
+        raise FileCheckError(f"no {prefix} directives found")
+
+    lines = text.splitlines()
+    position = 0  # next input line eligible for matching
+    pending_nots: list[CheckDirective] = []
+
+    def flush_nots(until: int) -> None:
+        """Verify queued CHECK-NOT patterns over lines[position:until]."""
+        for banned in pending_nots:
+            hit = next(
+                (i for i in range(position, until) if banned.regex.search(lines[i])),
+                None,
+            )
+            if hit is not None:
+                _fail(
+                    banned, lines, hit,
+                    f"CHECK-NOT pattern unexpectedly matched input line {hit + 1}",
+                )
+        pending_nots.clear()
+
+    index = 0
+    while index < len(directives):
+        directive = directives[index]
+        if directive.kind == "not":
+            pending_nots.append(directive)
+            index += 1
+            continue
+        if directive.kind == "dag":
+            # A maximal run of consecutive DAG directives matches unordered.
+            group: list[CheckDirective] = []
+            while index < len(directives) and directives[index].kind == "dag":
+                group.append(directives[index])
+                index += 1
+            taken: set[int] = set()
+            for member in group:
+                hit = next(
+                    (
+                        i
+                        for i in range(position, len(lines))
+                        if i not in taken and member.regex.search(lines[i])
+                    ),
+                    None,
+                )
+                if hit is None:
+                    _fail(member, lines, position, "CHECK-DAG pattern not found")
+                taken.add(hit)
+            flush_nots(min(taken))
+            position = max(taken) + 1
+            continue
+        if directive.kind == "next":
+            flush_nots(position)
+            if position >= len(lines) or not directive.regex.search(lines[position]):
+                _fail(directive, lines, position, "CHECK-NEXT did not match the next line")
+            position += 1
+        else:
+            hit = next(
+                (i for i in range(position, len(lines)) if directive.regex.search(lines[i])),
+                None,
+            )
+            if hit is None:
+                _fail(directive, lines, position, "CHECK pattern not found")
+            flush_nots(hit)
+            position = hit + 1
+        index += 1
+    flush_nots(len(lines))

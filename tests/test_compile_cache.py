@@ -1,0 +1,193 @@
+"""Tests for the content-addressed compile cache and cache-aware harness."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.compile_cache import CacheKey, CompileCache
+from repro.core.config import CompilerOptions
+from repro.core.pipeline import StencilHMLSCompiler
+from repro.evaluation.harness import BenchmarkCase, EvaluationHarness
+from repro.ir.hashing import module_hash
+from repro.ir.pass_registry import canonical_pipeline_spec
+from repro.ir.printer import print_module
+from repro.kernels.grids import PW_ADVECTION_SIZES
+from repro.kernels.pw_advection import build_pw_advection
+
+
+@pytest.fixture()
+def module():
+    return build_pw_advection(PW_ADVECTION_SIZES["8M"].shape)
+
+
+class TestCacheKey:
+    def test_digest_depends_on_every_component(self):
+        base = CacheKey("m", "p", "o", "e")
+        assert base.digest("s") == CacheKey("m", "p", "o", "e").digest("s")
+        for variation in (
+            CacheKey("m2", "p", "o", "e"),
+            CacheKey("m", "p2", "o", "e"),
+            CacheKey("m", "p", "o2", "e"),
+            CacheKey("m", "p", "o", "e2"),
+        ):
+            assert variation.digest("s") != base.digest("s")
+        assert base.digest("other-stage") != base.digest("s")
+
+    def test_pipeline_options_never_collide(self, module):
+        """Regression: `stencil-to-hls{pack=0}` vs `{pack=1}` must produce
+        distinct cache keys — the full canonicalised pipeline spec including
+        pass options participates in the key."""
+        packed = StencilHMLSCompiler(
+            pass_pipeline="canonicalize,convert-stencil-to-hls{pack=1},convert-hls-to-llvm"
+        )
+        unpacked = StencilHMLSCompiler(
+            pass_pipeline="canonicalize,convert-stencil-to-hls{pack=0},convert-hls-to-llvm"
+        )
+        key_packed = packed.cache_key(module)
+        key_unpacked = unpacked.cache_key(module)
+        assert key_packed.pipeline != key_unpacked.pipeline
+        assert key_packed.digest("middle-end") != key_unpacked.digest("middle-end")
+
+    def test_pack_variants_cached_separately(self, module, tmp_path):
+        """End to end: compiling both pack variants through one cache must
+        yield two distinct artefacts, not one spurious hit."""
+        cache = CompileCache(tmp_path)
+        results = {}
+        for pack in (1, 0):
+            compiler = StencilHMLSCompiler(
+                pass_pipeline=f"canonicalize,convert-stencil-to-hls{{pack={pack}}},convert-hls-to-llvm",
+                cache=cache,
+            )
+            results[pack] = compiler.compile(module)
+        assert cache.stats.total_hits == 0
+        assert cache.stats.misses["middle-end"] == 2
+        assert results[1].design.interfaces != results[0].design.interfaces
+
+    def test_alias_spelling_shares_one_entry(self, module, tmp_path):
+        cache = CompileCache(tmp_path)
+        spellings = (
+            "canonicalize,convert-stencil-to-hls,convert-hls-to-llvm",
+            "canonicalize,stencil-to-hls,hls-to-llvm",
+        )
+        assert canonical_pipeline_spec(spellings[0]) == canonical_pipeline_spec(spellings[1])
+        for spec in spellings:
+            StencilHMLSCompiler(pass_pipeline=spec, cache=cache).compile(module)
+        assert cache.stats.hits["middle-end"] == 1
+
+    def test_compiler_options_participate(self, module):
+        default = StencilHMLSCompiler()
+        wide = StencilHMLSCompiler(CompilerOptions(stream_depth=32))
+        assert default.cache_key(module) != wide.cache_key(module)
+
+
+class TestCompilerCache:
+    def test_second_compile_hits_both_stages(self, module):
+        cache = CompileCache()
+        compiler = StencilHMLSCompiler(cache=cache)
+        first = compiler.compile(module)
+        second = compiler.compile(module)
+        assert cache.stats.hits["middle-end"] == 1
+        assert cache.stats.hits["synthesis"] == 1
+        assert first.summary() == second.summary()
+        assert print_module(first.llvm_module) == print_module(second.llvm_module)
+        assert print_module(first.hls_module) == print_module(second.hls_module)
+
+    def test_cached_statistics_are_marked(self, module):
+        compiler = StencilHMLSCompiler(cache=CompileCache())
+        compiler.compile(module)
+        cold_stats = list(compiler.pass_statistics)
+        compiler.compile(module)
+        assert all(stat.note == "cached" for stat in compiler.pass_statistics)
+        assert [s.name for s in compiler.pass_statistics] == [s.name for s in cold_stats]
+
+    def test_hit_returns_independent_modules(self, module):
+        """Mutating a cache-hit artefact must not corrupt later hits."""
+        compiler = StencilHMLSCompiler(cache=CompileCache())
+        compiler.compile(module)
+        second = compiler.compile(module)
+        for op in list(second.llvm_module.walk()):
+            if op is not second.llvm_module:
+                op.drop_all_references()
+        third = compiler.compile(module)
+        assert print_module(third.llvm_module) != print_module(second.llvm_module)
+
+    def test_disk_tier_survives_new_cache_instance(self, module, tmp_path):
+        warm = StencilHMLSCompiler(cache=CompileCache(tmp_path))
+        baseline = warm.compile(module)
+        fresh_cache = CompileCache(tmp_path)  # models a fresh process
+        compiler = StencilHMLSCompiler(cache=fresh_cache)
+        hit = compiler.compile(module)
+        assert fresh_cache.stats.total_misses == 0
+        assert fresh_cache.stats.hits["middle-end"] == 1
+        assert hit.summary() == baseline.summary()
+        assert print_module(hit.llvm_module) == print_module(baseline.llvm_module)
+
+    def test_middle_end_shared_across_devices(self, module):
+        from repro.fpga.device import VCK5000
+
+        cache = CompileCache()
+        StencilHMLSCompiler(cache=cache).compile(module)
+        other_device = StencilHMLSCompiler(device=VCK5000, cache=cache)
+        other_device.compile(module)
+        assert cache.stats.hits["middle-end"] == 1     # pipeline output reused
+        assert cache.stats.misses["synthesis"] == 2    # designs are per-device
+
+    def test_corrupt_disk_entry_is_a_miss(self, module, tmp_path):
+        cache = CompileCache(tmp_path)
+        StencilHMLSCompiler(cache=cache).compile(module)
+        for entry in tmp_path.rglob("*.pkl"):
+            entry.write_bytes(b"not a pickle")
+        fresh = CompileCache(tmp_path)
+        StencilHMLSCompiler(cache=fresh).compile(module)
+        assert fresh.stats.total_hits == 0
+        assert fresh.stats.errors > 0
+
+    def test_no_cache_means_no_stats(self, module):
+        compiler = StencilHMLSCompiler()
+        compiler.compile(module)
+        assert compiler.cache is None
+
+
+class TestHarnessResultCache:
+    def test_warm_matrix_run_hits_every_case(self, tmp_path):
+        cases = [BenchmarkCase("pw_advection", PW_ADVECTION_SIZES["8M"])]
+        cold = EvaluationHarness(repeats=1, cache=CompileCache(tmp_path))
+        cold_results = cold.run_matrix(cases=cases)
+        warm = EvaluationHarness(repeats=1, cache=CompileCache(tmp_path))
+        warm_results = warm.run_matrix(cases=cases)
+        assert warm.cache.stats.hits["result"] == len(cold_results)
+        assert warm.cache.stats.misses["result"] == 0
+        assert [r.as_dict() for r in warm_results] == [r.as_dict() for r in cold_results]
+
+    def test_repeats_participate_in_result_key(self, tmp_path):
+        cases = [BenchmarkCase("pw_advection", PW_ADVECTION_SIZES["8M"])]
+        EvaluationHarness(repeats=1, cache=CompileCache(tmp_path)).run_matrix(cases=cases)
+        other = EvaluationHarness(repeats=2, cache=CompileCache(tmp_path))
+        other.run_matrix(cases=cases)
+        assert other.cache.stats.hits["result"] == 0
+
+    def test_variants_cached_separately(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        harness = EvaluationHarness(repeats=1, cache=cache)
+        cases = harness.cases_for(
+            "pw_advection", ["8M"], frameworks=["Stencil-HMLS"],
+            variants=["default", "no-pack"],
+        )
+        results = harness.run_matrix(cases=cases)
+        assert len(results) == 2
+        assert cache.stats.hits["result"] == 0
+        again = EvaluationHarness(repeats=1, cache=CompileCache(tmp_path))
+        again.run_matrix(cases=cases)
+        assert again.cache.stats.hits["result"] == 2
+
+
+class TestModuleHashKeying:
+    def test_same_kernel_same_hash(self, module):
+        assert module_hash(module) == module_hash(
+            build_pw_advection(PW_ADVECTION_SIZES["8M"].shape)
+        )
+
+    def test_different_size_different_hash(self, module):
+        assert module_hash(module) != module_hash(
+            build_pw_advection(PW_ADVECTION_SIZES["32M"].shape)
+        )

@@ -1,0 +1,106 @@
+"""Tests of the FileCheck-lite matcher itself (tests/filecheck.py)."""
+
+import pytest
+
+from filecheck import (
+    FileCheckError,
+    compile_pattern,
+    parse_check_lines,
+    run_filecheck,
+)
+
+INPUT = """\
+module {
+  func @kernel(%arg0: f64) {
+    %0 = addf %arg0, %arg0
+    %1 = mulf %0, %0
+    return %1
+  }
+}
+"""
+
+
+class TestPatternCompilation:
+    def test_literal_text_is_escaped(self):
+        assert compile_pattern("a.b(c)").search("xa.b(c)y")
+        assert not compile_pattern("a.b(c)").search("aXb(c)")
+
+    def test_regex_islands(self):
+        pattern = compile_pattern("%{{[0-9]+}} = addf")
+        assert pattern.search("  %12 = addf %a, %b")
+        assert not pattern.search("  %x = addf %a, %b")
+
+    def test_unterminated_island_rejected(self):
+        with pytest.raises(FileCheckError, match="unterminated"):
+            compile_pattern("%{{[0-9]+ = addf")
+
+    def test_braces_outside_islands_are_literal(self):
+        assert compile_pattern("{offset = [-1, 0, 0]}").search(
+            '"stencil.access"(%1) {offset = [-1, 0, 0]} : ...'
+        )
+
+
+class TestParsing:
+    def test_all_directive_kinds(self):
+        text = (
+            "// CHECK: a\n"
+            "// CHECK-NEXT: b\n"
+            "// CHECK-DAG: c\n"
+            "// CHECK-NOT: d\n"
+            "not a directive\n"
+        )
+        kinds = [d.kind for d in parse_check_lines(text)]
+        assert kinds == ["check", "next", "dag", "not"]
+
+    def test_custom_prefix(self):
+        directives = parse_check_lines("// GOLD: a\n// CHECK: b\n", prefix="GOLD")
+        assert [d.pattern for d in directives] == ["a"]
+
+
+class TestMatching:
+    def test_in_order_checks_pass(self):
+        run_filecheck(INPUT, "// CHECK: module\n// CHECK: addf\n// CHECK: return")
+
+    def test_out_of_order_checks_fail(self):
+        with pytest.raises(FileCheckError, match="not found"):
+            run_filecheck(INPUT, "// CHECK: return\n// CHECK: addf")
+
+    def test_check_next_requires_adjacency(self):
+        run_filecheck(INPUT, "// CHECK: addf\n// CHECK-NEXT: mulf")
+        with pytest.raises(FileCheckError, match="CHECK-NEXT"):
+            run_filecheck(INPUT, "// CHECK: module\n// CHECK-NEXT: mulf")
+
+    def test_check_dag_matches_any_order(self):
+        run_filecheck(INPUT, "// CHECK-DAG: mulf\n// CHECK-DAG: addf\n// CHECK: return")
+        with pytest.raises(FileCheckError, match="CHECK-DAG"):
+            run_filecheck(INPUT, "// CHECK-DAG: subf\n// CHECK-DAG: addf")
+
+    def test_dag_lines_are_consumed_once(self):
+        text = "x\nx\n"
+        run_filecheck(text, "// CHECK-DAG: x\n// CHECK-DAG: x")
+        with pytest.raises(FileCheckError):
+            run_filecheck("x\n", "// CHECK-DAG: x\n// CHECK-DAG: x")
+
+    def test_position_advances_past_dag_group(self):
+        with pytest.raises(FileCheckError):
+            run_filecheck(INPUT, "// CHECK-DAG: mulf\n// CHECK-DAG: addf\n// CHECK: func")
+
+    def test_check_not_between_matches(self):
+        run_filecheck(INPUT, "// CHECK: func\n// CHECK-NOT: subf\n// CHECK: return")
+        with pytest.raises(FileCheckError, match="CHECK-NOT"):
+            run_filecheck(INPUT, "// CHECK: func\n// CHECK-NOT: mulf\n// CHECK: return")
+
+    def test_trailing_check_not_scans_to_end(self):
+        run_filecheck(INPUT, "// CHECK: mulf\n// CHECK-NOT: addf")
+        with pytest.raises(FileCheckError, match="CHECK-NOT"):
+            run_filecheck(INPUT, "// CHECK: addf\n// CHECK-NOT: mulf")
+
+    def test_no_directives_is_an_error(self):
+        with pytest.raises(FileCheckError, match="no CHECK directives"):
+            run_filecheck(INPUT, "nothing here")
+
+    def test_error_message_names_directive_and_position(self):
+        with pytest.raises(FileCheckError) as err:
+            run_filecheck(INPUT, "// CHECK: addf\n// CHECK: nonexistent")
+        assert "nonexistent" in str(err.value)
+        assert "check line 2" in str(err.value)

@@ -10,7 +10,11 @@ from repro.dialects.func import FuncOp, ReturnOp
 from repro.frontends.builder import StencilKernelBuilder
 from repro.frontends.expr import BinOp, Constant, Expr, FieldAccess, ScalarRef, UnaryOp
 from repro.interp import Interpreter, interpret_stencil_module
+from repro.ir.attributes import FloatAttr, IntAttr, UnitAttr
+from repro.ir.hashing import canonical_module_text, module_hash
+from repro.ir.parser import parse_module
 from repro.ir.passes import PassManager
+from repro.ir.printer import print_module
 from repro.ir.types import f64
 from repro.kernels.reference import evaluate_expression
 from repro.runtime.streams import FIFOStream
@@ -191,6 +195,90 @@ def test_canonicalisation_preserves_scalar_semantics(values, x):
     before = Interpreter(plain).run("f", x)[0]
     after = Interpreter(canonical).run("f", x)[0]
     assert after == pytest.approx(before, rel=1e-12, abs=1e-12)
+
+
+# ---------------------------------------------------------------------------
+# Module content hashing (compile-cache keys)
+# ---------------------------------------------------------------------------
+
+
+def _random_stencil_module(expr) -> ModuleOp:
+    shape = (5, 4, 4)
+    builder = StencilKernelBuilder("rand_kernel", shape)
+    u = builder.input_field("u")
+    v = builder.input_field("v")
+    out = builder.output_field("out")
+    alpha = builder.scalar("alpha")
+    builder.add_stencil(out, expr + 0.0 * (u[0, 0, 0] + v[0, 0, 0] + alpha))
+    return builder.build()
+
+
+@settings(max_examples=25, deadline=None)
+@given(expr=expression_strategy())
+def test_module_hash_is_stable_across_print_parse_roundtrip(expr):
+    module = _random_stencil_module(expr)
+    reparsed = parse_module(print_module(module))
+    assert module_hash(reparsed) == module_hash(module)
+    assert canonical_module_text(reparsed) == canonical_module_text(module)
+
+
+@settings(max_examples=25, deadline=None)
+@given(expr=expression_strategy())
+def test_module_hash_ignores_ssa_name_hints(expr):
+    module = _random_stencil_module(expr)
+    baseline = module_hash(module)
+    for op in module.walk():
+        for result in op.results:
+            result.name_hint = None
+    assert module_hash(module) == baseline
+
+
+@settings(max_examples=40, deadline=None)
+@given(expr=expression_strategy(), data=st.data())
+def test_module_hash_changes_under_any_mutation(expr, data):
+    module = _random_stencil_module(expr)
+    baseline = module_hash(module)
+    ops = [op for op in module.walk() if op is not module]
+    op = ops[data.draw(st.integers(0, len(ops) - 1), label="op index")]
+    mutation = data.draw(
+        st.sampled_from(["add_attr", "tweak_attr", "drop_attr"]), label="mutation"
+    )
+    if mutation == "tweak_attr" or mutation == "drop_attr":
+        mutable = [
+            name
+            for name, attr in op.attributes.items()
+            if mutation == "drop_attr" or isinstance(attr, (IntAttr, FloatAttr))
+        ]
+        if not mutable:
+            mutation = "add_attr"
+        else:
+            name = mutable[data.draw(st.integers(0, len(mutable) - 1), label="attr")]
+            if mutation == "drop_attr":
+                del op.attributes[name]
+            else:
+                attr = op.attributes[name]
+                if isinstance(attr, IntAttr):
+                    op.attributes[name] = IntAttr(attr.value + 1, attr.type)
+                else:
+                    op.attributes[name] = FloatAttr(attr.value + 1.0, attr.type)
+    if mutation == "add_attr":
+        op.attributes["__mutation_probe"] = UnitAttr()
+    assert module_hash(module) != baseline
+
+
+def test_module_hash_distinguishes_op_order():
+    def build(order):
+        module = ModuleOp()
+        func = FuncOp.with_body("f", [f64], [f64])
+        module.add_op(func)
+        a = arith.ConstantOp.from_float(1.0)
+        b = arith.ConstantOp.from_float(2.0)
+        first, second = (a, b) if order else (b, a)
+        add = arith.AddfOp(first.result, second.result)
+        func.entry_block.add_ops([a, b, add, ReturnOp([add.result])])
+        return module
+
+    assert module_hash(build(True)) != module_hash(build(False))
 
 
 # ---------------------------------------------------------------------------
