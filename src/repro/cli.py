@@ -50,6 +50,9 @@ def main_compile(argv: list[str] | None = None) -> int:
                         help="content-addressed compile cache directory")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir and recompile from scratch")
+    parser.add_argument("--cache-max-bytes", type=int, default=None, metavar="BYTES",
+                        help="evict least-recently-used cache entries down to this "
+                        "on-disk budget after compiling")
     parser.add_argument("--print-hls", action="store_true", help="print the HLS-dialect IR")
     parser.add_argument("--print-llvm", action="store_true", help="print the annotated LLVM-dialect IR")
     parser.add_argument("--metadata", default=None, help="write xclbin metadata JSON to this path")
@@ -69,6 +72,8 @@ def main_compile(argv: list[str] | None = None) -> int:
     cache = None
     if args.cache_dir and not args.no_cache:
         cache = CompileCache(args.cache_dir)
+    if args.cache_max_bytes is not None and cache is None:
+        parser.error("--cache-max-bytes needs an active cache (--cache-dir without --no-cache)")
     compiler = StencilHMLSCompiler(options, device, pass_pipeline=args.pass_pipeline, cache=cache)
     module = builder(shape)
     try:
@@ -85,6 +90,8 @@ def main_compile(argv: list[str] | None = None) -> int:
     print(f"compiled {args.kernel} @ {args.size} for {device.name}")
     for key, value in xclbin.summary().items():
         print(f"  {key:<16}: {value}")
+    if cache is not None and args.cache_max_bytes is not None:
+        cache.gc(args.cache_max_bytes)
     if args.timing:
         print("per-pass statistics:")
         for stat in compiler.pass_statistics:
@@ -93,6 +100,7 @@ def main_compile(argv: list[str] | None = None) -> int:
                 status += f" ({stat.note})"
             print(f"  {stat.name:<44} {stat.seconds * 1e3:9.3f} ms  {status}")
         if cache is not None:
+            cache.disk_bytes()
             for line in cache.stats.summary_lines():
                 print(line)
     if args.print_hls and xclbin.hls_module is not None:

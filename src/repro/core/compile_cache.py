@@ -54,6 +54,21 @@ class CacheKey:
         )
 
 
+class _LazyBlob:
+    """Memory-tier placeholder: pickled bytes deserialised on first hit.
+
+    ``put(isolate=True)`` already has the serialised form in hand for the
+    disk tier; keeping the bytes (instead of eagerly unpickling a private
+    copy) makes cold-path stores one ``dumps`` total, and lookups that
+    never hit the entry never pay the ``loads``.
+    """
+
+    __slots__ = ("blob",)
+
+    def __init__(self, blob: bytes) -> None:
+        self.blob = blob
+
+
 @dataclass
 class CacheStats:
     """Per-stage hit/miss/store counters."""
@@ -62,6 +77,11 @@ class CacheStats:
     misses: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     stores: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     errors: int = 0
+    #: Entries removed by :meth:`CompileCache.gc` and the bytes they held.
+    evicted_entries: int = 0
+    evicted_bytes: int = 0
+    #: On-disk footprint after the most recent ``gc``/``disk_bytes`` scan.
+    disk_bytes: int = 0
 
     @property
     def total_hits(self) -> int:
@@ -77,6 +97,9 @@ class CacheStats:
             "hits": self.total_hits,
             "misses": self.total_misses,
             "errors": self.errors,
+            "evicted_entries": self.evicted_entries,
+            "evicted_bytes": self.evicted_bytes,
+            "disk_bytes": self.disk_bytes,
             "stages": {
                 stage: {
                     "hits": self.hits.get(stage, 0),
@@ -93,6 +116,12 @@ class CacheStats:
             lines.append(
                 f"  {stage:<12} hits={counts['hits']} misses={counts['misses']} "
                 f"stores={counts['stores']}"
+            )
+        if self.disk_bytes or self.evicted_entries:
+            lines.append(
+                f"  disk: {self.disk_bytes} bytes"
+                f" (evicted {self.evicted_entries} entries"
+                f" / {self.evicted_bytes} bytes)"
             )
         return lines
 
@@ -149,6 +178,16 @@ class CompileCache:
         value: Any | None = None
         if digest in self._memory:
             value = self._memory[digest]
+            if isinstance(value, _LazyBlob):
+                try:
+                    value = self._loads(value.blob)
+                    self._memory[digest] = value
+                except Exception:
+                    # The bytes came from our own dumps; a failure here is
+                    # a corrupt entry, not a reason to retry the disk copy.
+                    self.stats.errors += 1
+                    del self._memory[digest]
+                    value = None
         elif self.cache_dir is not None:
             path = self._path(digest)
             try:
@@ -169,19 +208,36 @@ class CompileCache:
         self.stats.hits[stage] += 1
         return rehydrate(value) if rehydrate is not None else value
 
-    def put(self, key: CacheKey, stage: str, value: Any) -> None:
+    def put(self, key: CacheKey, stage: str, value: Any, *, isolate: bool = False) -> None:
+        """Store one stage artefact.
+
+        With ``isolate=True`` the cache serialises ``value`` once and keeps
+        the *bytes* in the memory tier (deserialised lazily on first hit;
+        the same bytes go to disk), so callers may keep mutating the live
+        object after the call without re-pickling it themselves.
+        """
         digest = key.digest(stage)
+        blob: bytes | None = None
+        if isolate:
+            try:
+                blob = self._dumps(value)
+            except Exception:
+                # Unpicklable artefacts cannot be isolated: skip the store.
+                self.stats.errors += 1
+                return
+            value = _LazyBlob(blob)
         self._memory[digest] = value
         self.stats.stores[stage] += 1
         if self.cache_dir is None:
             return
         path = self._path(digest)
-        try:
-            blob = self._dumps(value)
-        except Exception:
-            # Unpicklable artefacts stay memory-tier only.
-            self.stats.errors += 1
-            return
+        if blob is None:
+            try:
+                blob = self._dumps(value)
+            except Exception:
+                # Unpicklable artefacts stay memory-tier only.
+                self.stats.errors += 1
+                return
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
@@ -199,6 +255,58 @@ class CompileCache:
             self.stats.errors += 1
 
     # -- maintenance ----------------------------------------------------------
+
+    def _disk_entries(self) -> list[tuple[float, int, Path]]:
+        """Every on-disk entry as ``(mtime, size, path)``, oldest first."""
+        assert self.cache_dir is not None
+        entries: list[tuple[float, int, Path]] = []
+        for path in self.cache_dir.glob("*/*.pkl"):
+            try:
+                stat = path.stat()
+            except OSError:
+                continue  # a parallel writer/GC raced us; skip
+            entries.append((stat.st_mtime, stat.st_size, path))
+        entries.sort(key=lambda e: (e[0], e[2].name))
+        return entries
+
+    def disk_bytes(self) -> int:
+        """Current on-disk footprint of the cache directory (0 if memory-only)."""
+        if self.cache_dir is None:
+            return 0
+        total = sum(size for _, size, _ in self._disk_entries())
+        self.stats.disk_bytes = total
+        return total
+
+    def gc(self, max_bytes: int) -> int:
+        """Evict least-recently-used disk entries until ≤ ``max_bytes`` remain.
+
+        LRU is approximated by file mtime: hits re-load entries but do not
+        rewrite them, so mtime tracks *store* recency — good enough for the
+        long-lived shared cache directories the evaluation matrix uses.
+        Returns the number of evicted entries; the memory tier is left
+        untouched (it dies with the process anyway).
+        """
+        if max_bytes < 0:
+            raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
+        if self.cache_dir is None:
+            return 0
+        entries = self._disk_entries()
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        for _, size, path in entries:
+            if total <= max_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:
+                self.stats.errors += 1
+                continue
+            total -= size
+            evicted += 1
+            self.stats.evicted_entries += 1
+            self.stats.evicted_bytes += size
+        self.stats.disk_bytes = total
+        return evicted
 
     def clear_memory(self) -> None:
         """Drop the in-memory tier (the disk tier, if any, stays)."""

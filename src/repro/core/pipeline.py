@@ -111,6 +111,43 @@ class MiddleEndResult:
         )
 
 
+@dataclass
+class PassPrefixArtifact:
+    """Middle-end snapshot after one pipeline *prefix* — the unit of the
+    per-pass artefact cache (stage ``pass-prefix``).
+
+    Stored under ``(incoming module fingerprint, canonical spec prefix,
+    options fingerprint)``, so an ablation sweep that only toggles a late
+    sub-pass resumes from the longest shared prefix instead of re-running
+    every upstream pass.  The module, the :class:`LoweringContext` and the
+    HLS snapshot reference each other's IR objects, so they are cloned
+    *together* (one pickle round-trip) to stay consistent.
+    """
+
+    module: ModuleOp
+    lowering: "LoweringContext | None"
+    hls_module: ModuleOp | None
+    statistics: list[PassStatistics]
+    #: Fingerprint of ``module`` — the next stage's chain key, precomputed
+    #: so warm lookups never have to re-hash restored snapshots.
+    out_hash: str
+
+    def clone(self, *, note: str = "") -> "PassPrefixArtifact":
+        module, lowering, hls_module = CompileCache._loads(
+            CompileCache._dumps((self.module, self.lowering, self.hls_module))
+        )
+        return PassPrefixArtifact(
+            module=module,
+            lowering=lowering,
+            hls_module=hls_module,
+            statistics=[
+                dataclasses.replace(stat, note=note or stat.note)
+                for stat in self.statistics
+            ],
+            out_hash=self.out_hash,
+        )
+
+
 class StencilHMLSCompiler:
     """Compile stencil-dialect modules into simulated FPGA bitstreams."""
 
@@ -222,6 +259,8 @@ class StencilHMLSCompiler:
         context = PassContext()
         context.set(LoweringContext(options=self.options))
         manager = PassRegistry.parse(spec, context=context)
+        passes = manager.passes
+        statistics: list[PassStatistics] = []
 
         # Snapshot the HLS-dialect module right before it is lowered to LLVM
         # dialect: it is what the functional dataflow simulator executes.  A
@@ -229,14 +268,88 @@ class StencilHMLSCompiler:
         # on a stencil module — only snapshot once kernels were lowered.
         snapshots: dict[str, ModuleOp] = {}
 
+        # Per-pass-prefix artefact cache: resume from the longest cached
+        # prefix, then store a snapshot after each freshly-executed pass so
+        # future sweeps sharing a longer prefix resume even later.
+        use_prefix = self.cache is not None and len(passes) > 1
+        start_index = 0
+        prefix_parts: list[str] = []
+        incoming_hash = ""
+        options_fp = ""
+        if use_prefix:
+            options_fp = fingerprint_mapping(dataclasses.asdict(self.options))
+            incoming_hash = module_hash(working)
+            # Walk the chain through the tiny ``pass-prefix-hash`` sidecar
+            # entries (just the out-hash strings) so no snapshot payload is
+            # unpickled along the way; only the longest prefix's artefact
+            # is then fetched and cloned — one pickle round-trip total.
+            chain_hash = incoming_hash
+            chain_keys: list[CacheKey] = []
+            for pass_ in passes:
+                prefix_parts.append(pass_.describe())
+                key = CacheKey(chain_hash, ",".join(prefix_parts), options_fp)
+                next_hash = self.cache.get(key, "pass-prefix-hash")
+                if not isinstance(next_hash, str):
+                    break
+                chain_keys.append(key)
+                chain_hash = next_hash
+            while chain_keys:
+                # Fall back to shorter prefixes if a snapshot went missing
+                # (e.g. its store failed while the sidecar's succeeded).
+                artifact = self.cache.get(chain_keys[-1], "pass-prefix")
+                if artifact is not None:
+                    restored = artifact.clone(note="prefix-cached")
+                    start_index = len(chain_keys)
+                    working = restored.module
+                    context = PassContext()
+                    if restored.lowering is not None:
+                        context.set(restored.lowering)
+                    statistics = list(restored.statistics)
+                    if restored.hls_module is not None:
+                        snapshots["hls"] = restored.hls_module
+                    incoming_hash = restored.out_hash
+                    break
+                chain_keys.pop()
+            prefix_parts = prefix_parts[:start_index]
+
         def snapshot_hls(pass_, module) -> None:
             if isinstance(pass_, HLSToLLVMPass) and "hls" not in snapshots:
                 lowering = context.get(LoweringContext)
                 if lowering is not None and lowering.plans:
                     snapshots["hls"] = module.clone()
 
-        manager.run(working, on_pass_start=snapshot_hls)
-        statistics = list(manager.statistics)
+        def store_prefix(pass_, module, stat: PassStatistics) -> None:
+            nonlocal incoming_hash
+            statistics.append(stat)
+            if not use_prefix:
+                return
+            prefix_parts.append(pass_.describe())
+            if len(prefix_parts) == len(passes):
+                # The full-length "prefix" is not stored: the middle-end
+                # stage already caches the completed pipeline's result.
+                return
+            key = CacheKey(incoming_hash, ",".join(prefix_parts), options_fp)
+            out_hash = module_hash(module)
+            artifact = PassPrefixArtifact(
+                module=module,
+                lowering=context.get(LoweringContext),
+                hls_module=snapshots.get("hls"),
+                statistics=list(statistics),
+                out_hash=out_hash,
+            )
+            # isolate=True snapshots the live, still-mutating module with a
+            # single serialisation shared by both cache tiers.
+            self.cache.put(key, "pass-prefix", artifact, isolate=True)
+            self.cache.put(key, "pass-prefix-hash", out_hash)
+            incoming_hash = out_hash
+
+        manager.context = context
+        manager.run(
+            working,
+            on_pass_start=snapshot_hls,
+            on_pass_end=store_prefix,
+            start_index=start_index,
+        )
 
         lowering = context.get(LoweringContext)
         plans = dict(lowering.plans) if lowering is not None else {}

@@ -53,6 +53,9 @@ class AxiProtocolAttr(Attribute):
             raise VerifyException(f"unknown AXI protocol '{protocol}'")
         self.protocol = protocol
 
+    def parameters(self) -> tuple:
+        return (self.protocol,)
+
     @property
     def code(self) -> int:
         return AXI_PROTOCOLS[self.protocol]
@@ -68,6 +71,9 @@ class StreamType(TypeAttribute):
 
     def __init__(self, element_type: Attribute) -> None:
         self.element_type = element_type
+
+    def parameters(self) -> tuple:
+        return (self.element_type,)
 
     def __str__(self) -> str:
         return f"!hls.stream<{self.element_type}>"

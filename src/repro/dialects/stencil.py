@@ -43,6 +43,9 @@ class FieldType(TypeAttribute):
             if ub < lb:
                 raise VerifyException(f"field bound [{lb},{ub}] is empty")
 
+    def parameters(self) -> tuple:
+        return (self.bounds, self.element_type)
+
     @property
     def rank(self) -> int:
         return len(self.bounds)
@@ -72,6 +75,9 @@ class TempType(TypeAttribute):
         self.shape = tuple(int(s) for s in shape)
         self.element_type = element_type
 
+    def parameters(self) -> tuple:
+        return (self.shape, self.element_type)
+
     @property
     def rank(self) -> int:
         return len(self.shape)
@@ -92,6 +98,9 @@ class ResultType(TypeAttribute):
 
     def __init__(self, element_type: Attribute) -> None:
         self.element_type = element_type
+
+    def parameters(self) -> tuple:
+        return (self.element_type,)
 
     def __str__(self) -> str:
         return f"!stencil.result<{self.element_type}>"

@@ -77,15 +77,65 @@ KERNEL_SIZES: dict[str, dict[str, ProblemSize]] = {
     "tracer_advection": TRACER_ADVECTION_SIZES,
 }
 
+#: The six stencil→HLS sub-passes spelled out individually.  Ablation
+#: variants toggle options on *one* sub-pass, so sweeps over this spelling
+#: share long pipeline prefixes — which the compiler's per-pass-prefix
+#: artefact cache turns into real reuse (only the toggled suffix re-runs).
+STAGED_PIPELINE: str = (
+    "canonicalize,stencil-shape-inference,stencil-interface-lowering,"
+    "stencil-small-data-buffering,stencil-wave-pipelining,"
+    "stencil-compute-split,hls-bundle-assignment,convert-hls-to-llvm"
+)
+
+
+def staged_variant(pass_name: str, **options: object) -> str:
+    """The staged pipeline with ``options`` set on one sub-pass.
+
+    ``staged_variant("stencil-wave-pipelining", depth=32)`` renders
+    ``...,stencil-wave-pipelining{depth=32},...`` — the canonical way to
+    build one point of an ablation axis.
+    """
+    entries = STAGED_PIPELINE.split(",")
+    if pass_name not in entries:
+        raise KeyError(f"pass '{pass_name}' is not part of the staged pipeline")
+    rendered = ",".join(f"{key}={value}" for key, value in options.items())
+    entry = f"{pass_name}{{{rendered}}}" if rendered else pass_name
+    return ",".join(entry if name == pass_name else name for name in entries)
+
+
 #: Named Stencil-HMLS pass-pipeline variants for matrix sweeps.  ``None``
 #: means the compiler's default pipeline; baselines model fixed flows, so
-#: non-default variants only ever pair with Stencil-HMLS.
+#: non-default variants only ever pair with Stencil-HMLS.  The ``ii-*`` /
+#: ``depth-*`` / ``width-*`` entries form the ablation-matrix axis over the
+#: staged sub-passes; each option lands on its earliest consumer pass (see
+#: ``_OPTION_CONSUMER_PHASE`` in the lowering context).
 PIPELINE_VARIANTS: dict[str, str | None] = {
     "default": None,
     "no-pack": "canonicalize,convert-stencil-to-hls{pack=0},convert-hls-to-llvm",
     "no-split": "canonicalize,convert-stencil-to-hls{split=0},convert-hls-to-llvm",
     "single-bundle": "canonicalize,convert-stencil-to-hls{bundles=0},convert-hls-to-llvm",
+    "staged": STAGED_PIPELINE,
+    "ii-2": staged_variant("stencil-interface-lowering", ii=2),
+    "ii-4": staged_variant("stencil-interface-lowering", ii=4),
+    "width-256": staged_variant("stencil-interface-lowering", width=256),
+    "width-1024": staged_variant("stencil-interface-lowering", width=1024),
+    "depth-8": staged_variant("stencil-wave-pipelining", depth=8),
+    "depth-64": staged_variant("stencil-wave-pipelining", depth=64),
+    "single-bundle-staged": staged_variant("hls-bundle-assignment", bundles=0),
 }
+
+#: The variant names forming the staged ablation axis, ordered so sweeps
+#: maximise shared pipeline prefixes (same-pass toggles are adjacent).
+ABLATION_VARIANTS: tuple[str, ...] = (
+    "staged",
+    "ii-2",
+    "ii-4",
+    "width-256",
+    "width-1024",
+    "depth-8",
+    "depth-64",
+    "single-bundle-staged",
+)
 
 FRAMEWORKS_BY_NAME: dict[str, Type[Framework]] = {cls.name: cls for cls in ALL_FRAMEWORKS}
 
@@ -95,6 +145,33 @@ DEFAULT_CASES: list[BenchmarkCase] = [
 ] + [
     BenchmarkCase("tracer_advection", size) for size in TRACER_ADVECTION_SIZES.values()
 ]
+
+
+def parse_shard(text: str) -> tuple[int, int]:
+    """Parse a ``i/n`` shard selector (1-based) into ``(index, count)``."""
+    part, sep, total = text.partition("/")
+    try:
+        index, count = int(part), int(total)
+    except ValueError:
+        index, count = 0, 0
+    if not sep or count < 1 or not (1 <= index <= count):
+        raise ValueError(
+            f"invalid shard '{text}': expected i/n with 1 <= i <= n, e.g. 2/4"
+        )
+    return index, count
+
+
+def select_shard(cases: Sequence[BenchmarkCase], index: int, count: int) -> list[BenchmarkCase]:
+    """Deterministic shard ``index`` (1-based) of ``count`` over ``cases``.
+
+    Strided selection over the case-major ordering, so the shards partition
+    the matrix exactly and stay balanced across problem sizes.  Results of
+    per-shard runs merge back into the full matrix with
+    :func:`repro.evaluation.report.merge_result_files`.
+    """
+    if not (1 <= index <= count):
+        raise ValueError(f"shard index {index} out of range 1..{count}")
+    return list(cases[index - 1 :: count])
 
 
 def _resolve_framework_names(

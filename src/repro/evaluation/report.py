@@ -25,7 +25,13 @@ from repro.evaluation.figures import (
     figure5_pw_power_energy,
     figure6_tracer_power_energy,
 )
-from repro.evaluation.harness import DEFAULT_CASES, BenchmarkCase, EvaluationHarness
+from repro.evaluation.harness import (
+    DEFAULT_CASES,
+    BenchmarkCase,
+    EvaluationHarness,
+    parse_shard,
+    select_shard,
+)
 from repro.evaluation.metrics import FrameworkResult
 from repro.evaluation.tables import RESOURCE_COLUMNS, table1_pw_resources, table2_tracer_resources
 from repro.kernels.grids import PW_ADVECTION_SIZES, TRACER_ADVECTION_SIZES
@@ -171,6 +177,12 @@ def main(argv: list[str] | None = None) -> int:
                         help="content-addressed compile/result cache directory")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir and recompute everything")
+    parser.add_argument("--cache-max-bytes", type=int, default=None, metavar="BYTES",
+                        help="evict least-recently-used cache entries down to this "
+                        "on-disk budget after the run")
+    parser.add_argument("--shard", type=str, default=None, metavar="I/N",
+                        help="run only the I-th of N deterministic case shards "
+                        "(1-based); merge shard outputs with merge_result_files")
     parser.add_argument("--deterministic", action="store_true",
                         help="strip wall-clock noise from --output JSON so runs compare byte-for-byte")
     args = parser.parse_args(argv)
@@ -178,8 +190,16 @@ def main(argv: list[str] | None = None) -> int:
     cache = None
     if args.cache_dir and not args.no_cache:
         cache = CompileCache(args.cache_dir)
+    if args.cache_max_bytes is not None and cache is None:
+        parser.error("--cache-max-bytes needs an active cache (--cache-dir without --no-cache)")
     harness = EvaluationHarness(repeats=args.repeats, cache=cache, jobs=max(args.jobs, 1))
     cases = _quick_cases() if args.quick else list(DEFAULT_CASES)
+    if args.shard:
+        try:
+            index, count = parse_shard(args.shard)
+        except ValueError as err:
+            parser.error(str(err))
+        cases = select_shard(cases, index, count)
     results = harness.run_matrix(cases=cases)
 
     if args.output:
@@ -207,6 +227,10 @@ def main(argv: list[str] | None = None) -> int:
     else:
         print(generate_all(results))
     if cache is not None:
+        if args.cache_max_bytes is not None:
+            cache.gc(args.cache_max_bytes)
+        else:
+            cache.disk_bytes()
         for line in cache.stats.summary_lines():
             print(line)
     return 0

@@ -23,7 +23,8 @@ from repro.ir.core import (
     VerifyException,
 )
 from repro.ir.builder import Builder, InsertPoint
-from repro.ir.hashing import canonical_module_text, module_hash
+from repro.ir.hashing import canonical_module_text, module_hash, operation_fingerprint
+from repro.ir.interning import ATTRIBUTE_INTERNER, AttributeInterner, intern_stats
 from repro.ir.parser import ParseError, parse_module
 from repro.ir.printer import Printer, print_module
 from repro.ir.rewriter import (
@@ -35,7 +36,9 @@ from repro.ir.passes import ModulePass, PassManager, PassStatistics
 from repro.ir.verifier import verify_module
 
 __all__ = [
+    "ATTRIBUTE_INTERNER",
     "Attribute",
+    "AttributeInterner",
     "Block",
     "BlockArgument",
     "Builder",
@@ -58,7 +61,9 @@ __all__ = [
     "SSAValue",
     "VerifyException",
     "canonical_module_text",
+    "intern_stats",
     "module_hash",
+    "operation_fingerprint",
     "parse_module",
     "print_module",
     "verify_module",

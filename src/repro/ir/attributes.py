@@ -22,6 +22,9 @@ class IntAttr(Attribute):
         self.value = value
         self.type = type
 
+    def parameters(self) -> tuple:
+        return (self.value, self.type)
+
     def __str__(self) -> str:
         return f"{self.value} : {self.type}"
 
@@ -31,6 +34,9 @@ class BoolAttr(Attribute):
 
     def __init__(self, value: bool) -> None:
         self.value = bool(value)
+
+    def parameters(self) -> tuple:
+        return (self.value,)
 
     def __str__(self) -> str:
         return "true" if self.value else "false"
@@ -47,6 +53,9 @@ class FloatAttr(Attribute):
         self.value = float(value)
         self.type = type
 
+    def parameters(self) -> tuple:
+        return (self.value, self.type)
+
     def __str__(self) -> str:
         return f"{self.value} : {self.type}"
 
@@ -58,6 +67,9 @@ class StringAttr(Attribute):
         if not isinstance(data, str):
             raise VerifyException(f"StringAttr data must be a str, got {data!r}")
         self.data = data
+
+    def parameters(self) -> tuple:
+        return (self.data,)
 
     def __str__(self) -> str:
         return f'"{self.data}"'
@@ -71,6 +83,9 @@ class SymbolRefAttr(Attribute):
     def __init__(self, symbol: str) -> None:
         self.symbol = symbol
 
+    def parameters(self) -> tuple:
+        return (self.symbol,)
+
     def __str__(self) -> str:
         return f"@{self.symbol}"
 
@@ -83,6 +98,9 @@ class TypeAttr(Attribute):
     def __init__(self, type: Attribute) -> None:
         self.type = type
 
+    def parameters(self) -> tuple:
+        return (self.type,)
+
     def __str__(self) -> str:
         return str(self.type)
 
@@ -94,6 +112,9 @@ class ArrayAttr(Attribute):
 
     def __init__(self, data: Sequence[Attribute]) -> None:
         self.data = tuple(data)
+
+    def parameters(self) -> tuple:
+        return (self.data,)
 
     def __iter__(self):
         return iter(self.data)
@@ -115,6 +136,9 @@ class DenseIntArrayAttr(Attribute):
 
     def __init__(self, values: Sequence[int]) -> None:
         self.values = tuple(int(v) for v in values)
+
+    def parameters(self) -> tuple:
+        return (self.values,)
 
     def as_tuple(self) -> tuple[int, ...]:
         return self.values

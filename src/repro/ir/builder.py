@@ -1,4 +1,10 @@
-"""IR construction helpers: insertion points and a stateful builder."""
+"""IR construction helpers: insertion points and a stateful builder.
+
+Attribute/type arguments need no special treatment here: every attribute
+construction funnels through the flyweight interner
+(:mod:`repro.ir.interning`) via the ``Attribute`` metaclass, so built IR
+automatically shares canonical attribute instances.
+"""
 
 from __future__ import annotations
 

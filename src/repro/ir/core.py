@@ -13,6 +13,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
+from repro.ir.interning import InternedAttributeMeta, reconstruct_interned
+
 
 class VerifyException(Exception):
     """Raised when IR fails structural or semantic verification."""
@@ -23,27 +25,56 @@ class VerifyException(Exception):
 # ---------------------------------------------------------------------------
 
 
-class Attribute:
+class Attribute(metaclass=InternedAttributeMeta):
     """Base class for all attributes (and therefore all types).
 
-    Attributes are immutable value objects: equality and hashing are
-    structural, based on the ``parameters`` tuple each subclass exposes.
+    Attributes are immutable value objects and are *hash-consed*: every
+    construction funnels through the per-process interner (see
+    :mod:`repro.ir.interning`), so structurally equal attributes are the
+    same object.  Equality is therefore an identity check on the hot path
+    (with a structural fallback for robustness) and ``__hash__`` returns
+    the hash precomputed at intern time.
     """
 
     name: str = "attribute"
 
     def parameters(self) -> tuple:
-        """Return the tuple of parameters defining this attribute's identity."""
-        return tuple(sorted(self.__dict__.items(), key=lambda kv: kv[0]))
+        """Return the tuple of parameters defining this attribute's identity.
+
+        The default derives it from the instance dictionary; underscore
+        fields (e.g. the interner's precomputed ``_hash``) are excluded.
+        Subclasses on hot paths override this with an explicit tuple.
+        """
+        return tuple(
+            sorted(
+                (kv for kv in self.__dict__.items() if not kv[0].startswith("_")),
+                key=lambda kv: kv[0],
+            )
+        )
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         return type(self) is type(other) and self.parameters() == other.parameters()
 
     def __hash__(self) -> int:
-        return hash((type(self).__name__,) + self._hashable(self.parameters()))
+        # Interned instances carry a precomputed hash; candidates that are
+        # hashed before interning (rare) fall back to the structural hash.
+        cached = self.__dict__.get("_hash")
+        if cached is not None:
+            return cached
+        return hash((type(self), self._hashable(self.parameters())))
+
+    def __reduce__(self) -> tuple:
+        # Re-intern on unpickle: the interner is per-process, so identity
+        # equality must be re-established in pool workers / cache readers.
+        state = {k: v for k, v in self.__dict__.items() if k != "_hash"}
+        return (reconstruct_interned, (type(self), state))
 
     @staticmethod
     def _hashable(obj: Any) -> Any:
+        if isinstance(obj, Attribute):
+            return obj
         if isinstance(obj, (list, tuple)):
             return tuple(Attribute._hashable(o) for o in obj)
         if isinstance(obj, dict):
@@ -51,7 +82,9 @@ class Attribute:
         return obj
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        params = ", ".join(f"{k}={v!r}" for k, v in self.__dict__.items())
+        params = ", ".join(
+            f"{k}={v!r}" for k, v in self.__dict__.items() if not k.startswith("_")
+        )
         return f"{type(self).__name__}({params})"
 
 
@@ -185,6 +218,61 @@ class IRNode:
         raise NotImplementedError
 
 
+class _AttributeDict(dict):
+    """Operation attribute dictionary that notifies its owner on mutation.
+
+    In-place edits (``op.attributes["x"] = ...``, ``del``, ``pop``,
+    ``update``, ...) are legitimate IR mutations, so they must invalidate
+    the owner's cached structural fingerprint like every other mutation
+    point does.
+    """
+
+    __slots__ = ("_owner",)
+
+    def _touch(self) -> None:
+        owner = getattr(self, "_owner", None)  # unset while unpickling
+        if owner is not None:
+            owner.invalidate_fingerprint()
+
+    def __setitem__(self, key, value) -> None:
+        super().__setitem__(key, value)
+        self._touch()
+
+    def __delitem__(self, key) -> None:
+        super().__delitem__(key)
+        self._touch()
+
+    def update(self, *args, **kwargs) -> None:
+        super().update(*args, **kwargs)
+        self._touch()
+
+    def __ior__(self, other):
+        result = super().__ior__(other)
+        self._touch()
+        return result
+
+    def pop(self, *args):
+        result = super().pop(*args)
+        self._touch()
+        return result
+
+    def popitem(self):
+        result = super().popitem()
+        self._touch()
+        return result
+
+    def setdefault(self, key, default=None):
+        had = key in self
+        result = super().setdefault(key, default)
+        if not had:
+            self._touch()
+        return result
+
+    def clear(self) -> None:
+        super().clear()
+        self._touch()
+
+
 _op_counter = itertools.count()
 
 
@@ -205,11 +293,14 @@ class Operation(IRNode):
         attributes: dict[str, Attribute] | None = None,
         regions: Sequence["Region"] | None = None,
     ) -> None:
+        #: Cached structural fingerprint: ``(digest, free values)`` computed
+        #: bottom-up by :mod:`repro.ir.hashing`, or ``None`` when stale.
+        self._fingerprint: "tuple[str, tuple[SSAValue, ...]] | None" = None
         self._operands: list[SSAValue] = []
         self.results: list[OpResult] = [
             OpResult(t, self, i) for i, t in enumerate(result_types)
         ]
-        self.attributes: dict[str, Attribute] = dict(attributes or {})
+        self.attributes = attributes or {}
         self.regions: list[Region] = []
         self.parent: Block | None = None
         self._uid = next(_op_counter)
@@ -217,6 +308,35 @@ class Operation(IRNode):
             self._append_operand(operand)
         for region in regions or []:
             self.add_region(region)
+
+    # -- attributes ---------------------------------------------------------
+
+    @property
+    def attributes(self) -> dict[str, Attribute]:
+        return self._attributes
+
+    @attributes.setter
+    def attributes(self, value: dict[str, Attribute]) -> None:
+        wrapped = _AttributeDict(value)
+        wrapped._owner = self
+        self._attributes = wrapped
+        self.invalidate_fingerprint()
+
+    # -- fingerprint cache --------------------------------------------------
+
+    def invalidate_fingerprint(self) -> None:
+        """Drop this op's cached structural fingerprint and its ancestors'.
+
+        Invariant: an op with a valid cache implies every attached
+        descendant's cache is valid too (the fingerprint computation fills
+        them bottom-up), and an op with no cache implies its ancestors have
+        none either (invalidation always walks to the root) — so the walk
+        can stop early at the first already-invalid ancestor.
+        """
+        op: Operation | None = self
+        while op is not None and op._fingerprint is not None:
+            op._fingerprint = None
+            op = op.parent_op()
 
     # -- operands -----------------------------------------------------------
 
@@ -238,6 +358,7 @@ class Operation(IRNode):
         old.remove_use(Use(self, index))
         self._operands[index] = new_value
         new_value.add_use(Use(self, index))
+        self.invalidate_fingerprint()
 
     def set_operands(self, new_operands: Sequence[SSAValue]) -> None:
         for i, operand in enumerate(self._operands):
@@ -245,12 +366,14 @@ class Operation(IRNode):
         self._operands = []
         for operand in new_operands:
             self._append_operand(operand)
+        self.invalidate_fingerprint()
 
     # -- regions ------------------------------------------------------------
 
     def add_region(self, region: "Region") -> "Region":
         region.parent = self
         self.regions.append(region)
+        self.invalidate_fingerprint()
         return region
 
     @property
@@ -309,6 +432,10 @@ class Operation(IRNode):
         self.drop_all_references()
 
     def drop_all_references(self) -> None:
+        # The operand list is about to change; if this op is still attached
+        # (callers may drop references without erasing), the ancestor spine's
+        # cached fingerprints go stale too.
+        self.invalidate_fingerprint()
         for i, operand in enumerate(self._operands):
             operand.remove_use(Use(self, i))
         self._operands = []
@@ -396,6 +523,7 @@ class Block(IRNode):
         arg = BlockArgument(type, self, len(self.args))
         arg.name_hint = name_hint
         self.args.append(arg)
+        self._invalidate_owner_fingerprint()
         return arg
 
     def erase_arg(self, arg: BlockArgument) -> None:
@@ -404,6 +532,13 @@ class Block(IRNode):
         self.args.remove(arg)
         for i, a in enumerate(self.args):
             a.index = i
+        self._invalidate_owner_fingerprint()
+
+    def _invalidate_owner_fingerprint(self) -> None:
+        """A structural change in this block invalidates the owning op chain."""
+        owner = self.parent_op()
+        if owner is not None:
+            owner.invalidate_fingerprint()
 
     # -- operations ---------------------------------------------------------
 
@@ -436,6 +571,7 @@ class Block(IRNode):
             raise VerifyException("operation already attached to a block")
         self._ops.insert(index, op)
         op.parent = self
+        self._invalidate_owner_fingerprint()
         return op
 
     def insert_op_before(self, op: Operation, anchor: Operation) -> Operation:
@@ -449,6 +585,7 @@ class Block(IRNode):
 
     def _remove_op(self, op: Operation) -> None:
         self._ops.remove(op)
+        self._invalidate_owner_fingerprint()
 
     def walk(self) -> Iterator[Operation]:
         for op in list(self._ops):
@@ -502,6 +639,8 @@ class Region(IRNode):
     def add_block(self, block: Block) -> Block:
         block.parent = self
         self.blocks.append(block)
+        if self.parent is not None:
+            self.parent.invalidate_fingerprint()
         return block
 
     def walk(self) -> Iterator[Operation]:

@@ -1,14 +1,31 @@
-"""Canonical module serialization and stable content hashing.
+"""Canonical module serialization and stable, *incremental* content hashing.
 
 The compile cache (:mod:`repro.core.compile_cache`) needs a *content
 address* for IR modules: two modules that are structurally identical must
 hash the same, and any op or attribute mutation must change the hash.  The
-regular printer is deterministic but honours ``name_hint``, so a
-print→parse round-trip (which turns printed names back into hints) could
-alter the text.  The canonical form therefore ignores hints entirely and
-numbers SSA values purely positionally; everything else — op names, sorted
-attributes, operand/result types, region structure — is inherited from the
-deterministic printer.
+canonical form ignores SSA ``name_hint``s entirely (a print→parse
+round-trip may turn printed names back into hints) and numbers values
+purely positionally.
+
+Since the hash-consing rework, :func:`module_hash` no longer re-prints the
+whole module on every call.  Each :class:`~repro.ir.core.Operation` caches
+a structural fingerprint ``(digest, free values)`` computed bottom-up:
+
+* the digest covers the op name, sorted attributes, operand/result types,
+  region/block structure and — for every nested child — the child's cached
+  digest plus the *binding* of the child's free values in this op's
+  positional numbering;
+* the free-value tuple lists, in first-use order, the SSA values the
+  subtree references but does not define, so sharing (``add %a, %a`` vs
+  ``add %a, %b``) is distinguished at the level that knows the binding.
+
+Every mutation point in :mod:`repro.ir.core` (operand replacement,
+attribute edits, op insertion/removal, block/region surgery — including
+the rewriter's worklist edits, which all route through those methods)
+invalidates the cached fingerprints of the touched op and its ancestors
+only, so re-hashing after a local mutation re-aggregates the spine of the
+tree instead of re-printing every op.  :func:`canonical_module_text`
+remains available as the executable specification of the canonical form.
 """
 
 from __future__ import annotations
@@ -17,7 +34,7 @@ import hashlib
 import json
 from typing import Any, Mapping
 
-from repro.ir.core import Operation, SSAValue
+from repro.ir.core import Block, Operation, Region, SSAValue
 from repro.ir.printer import Printer
 
 
@@ -40,13 +57,135 @@ def canonical_module_text(op: Operation) -> str:
     return printer.result()
 
 
+# ---------------------------------------------------------------------------
+# Incremental structural fingerprints
+# ---------------------------------------------------------------------------
+
+def _frame(parts: list[str]) -> bytes:
+    """Netstring-frame fingerprint payload parts (``<len>:<part>...``).
+
+    Length-prefixing makes the encoding injective even though attribute
+    renderings are unescaped user data — no separator an attribute value
+    could contain can make two different part sequences encode alike.
+    """
+    return "".join(f"{len(part)}:{part}" for part in parts).encode("utf-8")
+
+
+class _Scope:
+    """One fingerprint naming scope: positional locals + first-use frees."""
+
+    __slots__ = ("names", "free", "counter")
+
+    def __init__(self) -> None:
+        self.names: dict[SSAValue, str] = {}
+        self.free: list[SSAValue] = []
+        self.counter = 0
+
+    def ref(self, value: SSAValue) -> str:
+        token = self.names.get(value)
+        if token is None:
+            token = f"^{len(self.free)}"
+            self.names[value] = token
+            self.free.append(value)
+        return token
+
+    def define(self, value: SSAValue) -> None:
+        self.names[value] = f"%{self.counter}"
+        self.counter += 1
+
+
+def _append_block(parts: list[str], block: Block, scope: _Scope) -> None:
+    """Append one block's payload: arg types, then for each child op its
+    cached digest plus the binding of the child's free values in ``scope``."""
+    parts.append("^")
+    for arg in block.args:
+        scope.define(arg)
+        parts.append(str(arg.type))
+    for child in block.ops:
+        child_digest, child_free = operation_fingerprint(child)
+        parts.append(child_digest)
+        for value in child_free:
+            parts.append(scope.ref(value))
+        for child_result in child.results:
+            scope.define(child_result)
+
+
+def operation_fingerprint(op: Operation) -> tuple[str, tuple[SSAValue, ...]]:
+    """Cached bottom-up structural fingerprint of one operation subtree.
+
+    Returns ``(digest, free_values)`` where ``free_values`` are the SSA
+    values used but not defined inside the subtree, in first-use order.
+    The result is cached on the operation and reused until a mutation
+    invalidates it; a cached subtree digest stays valid when the subtree is
+    detached and re-inserted elsewhere unchanged.
+    """
+    cached = op._fingerprint
+    if cached is not None:
+        return cached
+
+    parts: list[str] = [op.name]
+    scope = _Scope()
+    for operand in op.operands:
+        parts.append(scope.ref(operand))
+        parts.append(str(operand.type))
+    attributes = op.attributes
+    if attributes:
+        for key in sorted(attributes):
+            parts.append(key)
+            parts.append(str(attributes[key]))
+    for result in op.results:
+        parts.append(str(result.type))
+    for region in op.regions:
+        parts.append("(")
+        for block in region.blocks:
+            _append_block(parts, block, scope)
+        parts.append(")")
+
+    digest = hashlib.sha256(_frame(parts)).hexdigest()
+    fingerprint = (digest, tuple(scope.free))
+    op._fingerprint = fingerprint
+    return fingerprint
+
+
+def block_fingerprint(block: Block) -> tuple[str, tuple[SSAValue, ...]]:
+    """Structural fingerprint of one block, composed from cached op digests.
+
+    Free values (used but not defined in the block) are bound by first-use
+    order, exactly like :func:`operation_fingerprint` — blocks differing
+    only in operand bindings fingerprint differently.
+    """
+    parts: list[str] = []
+    scope = _Scope()
+    _append_block(parts, block, scope)
+    return hashlib.sha256(_frame(parts)).hexdigest(), tuple(scope.free)
+
+
+def region_fingerprint(region: Region) -> tuple[str, tuple[SSAValue, ...]]:
+    """Structural fingerprint of one region (its blocks, in order), with
+    free values resolved across the whole region."""
+    parts: list[str] = []
+    scope = _Scope()
+    for block in region.blocks:
+        parts.append("(")
+        _append_block(parts, block, scope)
+        parts.append(")")
+    return hashlib.sha256(_frame(parts)).hexdigest(), tuple(scope.free)
+
+
 def module_hash(op: Operation) -> str:
     """Stable content hash (sha256 hex) of an operation/module.
 
     Invariant under print→parse round-trips and under SSA-value renaming;
-    changes whenever any op, type or attribute changes.
+    changes whenever any op, type or attribute changes.  Incremental: only
+    the mutated spine of the tree is re-hashed on repeated calls.
     """
-    return hashlib.sha256(canonical_module_text(op).encode("utf-8")).hexdigest()
+    digest, free = operation_fingerprint(op)
+    if not free:
+        return digest
+    # A fragment referencing values defined outside itself: fold the free
+    # value types into the digest so the hash is still self-contained.
+    payload = _frame([digest, *(str(value.type) for value in free)])
+    return hashlib.sha256(payload).hexdigest()
 
 
 def fingerprint_text(text: str) -> str:

@@ -8,6 +8,10 @@ exchange IR between tools: every operation is printed in the generic form
 The parser rebuilds operations as their registered Python classes (falling
 back to a :class:`GenericOperation` for unknown names) so that re-verified,
 re-interpreted or re-lowered modules behave identically to the originals.
+Every attribute/type the parser constructs is interned through the
+flyweight table of :mod:`repro.ir.interning` (via the ``Attribute``
+metaclass), so a parsed module shares canonical attribute instances with
+the rest of the process — parse→hash round-trips stay cheap.
 """
 
 from __future__ import annotations

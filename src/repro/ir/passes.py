@@ -130,10 +130,18 @@ class PassManager:
         self,
         module: Operation,
         on_pass_start: Callable[[ModulePass, Operation], None] | None = None,
+        on_pass_end: Callable[[ModulePass, Operation, PassStatistics], None] | None = None,
+        start_index: int = 0,
     ) -> Operation:
+        """Run the scheduled passes over ``module``.
+
+        ``start_index`` skips the first passes (used when a cached pipeline
+        prefix was restored); ``on_pass_end`` fires after each pass has run
+        and verified — the hook the per-pass artefact cache stores from.
+        """
         if self.verify_each:
             verify_module(module)
-        for pass_ in self.passes:
+        for pass_ in self.passes[start_index:]:
             if on_pass_start is not None:
                 on_pass_start(pass_, module)
             pass_.ctx = self.context
@@ -148,6 +156,8 @@ class PassManager:
                     raise VerifyException(
                         f"verification failed after pass '{pass_.name}': {err}"
                     ) from err
+            if on_pass_end is not None:
+                on_pass_end(pass_, module, self.statistics[-1])
         return module
 
     def pipeline_description(self) -> str:

@@ -27,6 +27,9 @@ class IntegerType(TypeAttribute):
             raise VerifyException(f"integer width must be positive, got {width}")
         self.width = width
 
+    def parameters(self) -> tuple:
+        return (self.width,)
+
     @property
     def bitwidth(self) -> int:
         return self.width
@@ -59,6 +62,9 @@ class FloatType(TypeAttribute):
         if width not in self._VALID_WIDTHS:
             raise VerifyException(f"unsupported float width {width}")
         self.width = width
+
+    def parameters(self) -> tuple:
+        return (self.width,)
 
     @property
     def bitwidth(self) -> int:
@@ -107,6 +113,9 @@ class ShapedType(TypeAttribute):
             if dim < 0 and dim != DYNAMIC:
                 raise VerifyException(f"invalid dimension {dim}")
 
+    def parameters(self) -> tuple:
+        return (self.shape, self.element_type)
+
     @property
     def rank(self) -> int:
         return len(self.shape)
@@ -151,6 +160,9 @@ class MemRefType(ShapedType):
         super().__init__(shape, element_type)
         self.memory_space = memory_space
 
+    def parameters(self) -> tuple:
+        return (self.shape, self.element_type, self.memory_space)
+
     def __str__(self) -> str:
         shape = self._shape_str()
         sep = "x" if shape else ""
@@ -174,6 +186,9 @@ class FunctionType(TypeAttribute):
         self.inputs = tuple(inputs)
         self.outputs = tuple(outputs)
 
+    def parameters(self) -> tuple:
+        return (self.inputs, self.outputs)
+
     def __str__(self) -> str:
         ins = ", ".join(str(t) for t in self.inputs)
         outs = ", ".join(str(t) for t in self.outputs)
@@ -193,6 +208,9 @@ class LLVMStructType(TypeAttribute):
     def __init__(self, element_types: Sequence[Attribute]) -> None:
         self.element_types = tuple(element_types)
 
+    def parameters(self) -> tuple:
+        return (self.element_types,)
+
     def __str__(self) -> str:
         inner = ", ".join(str(t) for t in self.element_types)
         return f"!llvm.struct<({inner})>"
@@ -209,6 +227,9 @@ class LLVMArrayType(TypeAttribute):
         self.count = count
         self.element_type = element_type
 
+    def parameters(self) -> tuple:
+        return (self.count, self.element_type)
+
     @property
     def bitwidth(self) -> int:
         return self.count * getattr(self.element_type, "bitwidth", 0)
@@ -224,6 +245,9 @@ class LLVMPointerType(TypeAttribute):
 
     def __init__(self, pointee: Attribute | None = None) -> None:
         self.pointee = pointee
+
+    def parameters(self) -> tuple:
+        return (self.pointee,)
 
     def __str__(self) -> str:
         if self.pointee is None:

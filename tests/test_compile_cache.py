@@ -59,8 +59,13 @@ class TestCacheKey:
                 cache=cache,
             )
             results[pack] = compiler.compile(module)
-        assert cache.stats.total_hits == 0
+        # The variants must never share middle-end or synthesis artefacts …
+        assert cache.stats.hits["middle-end"] == 0
+        assert cache.stats.hits["synthesis"] == 0
         assert cache.stats.misses["middle-end"] == 2
+        # … but the prefix cache may (correctly) reuse the shared
+        # `canonicalize` stage, whose output does not depend on `pack`.
+        assert cache.stats.hits.get("pass-prefix", 0) == 1
         assert results[1].design.interfaces != results[0].design.interfaces
 
     def test_alias_spelling_shares_one_entry(self, module, tmp_path):

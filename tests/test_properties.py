@@ -266,6 +266,36 @@ def test_module_hash_changes_under_any_mutation(expr, data):
     assert module_hash(module) != baseline
 
 
+@settings(max_examples=40, deadline=None)
+@given(expr=expression_strategy(), data=st.data())
+def test_incremental_rehash_equals_cold_hash(expr, data):
+    """The cached-fingerprint fast path must agree with a cold recompute.
+
+    Hash once (filling every cache), mutate a random op, and compare the
+    incremental re-hash against hashing a fresh clone (whose caches start
+    empty) — the incremental path may only ever be *faster*, never
+    different.
+    """
+    module = _random_stencil_module(expr)
+    module_hash(module)  # populate fingerprint caches bottom-up
+    ops = [op for op in module.walk() if op is not module]
+    op = ops[data.draw(st.integers(0, len(ops) - 1), label="op index")]
+    mutation = data.draw(st.sampled_from(["add_attr", "erase", "hint"]), label="mutation")
+    if mutation == "erase" and (op.regions or any(r.num_uses for r in op.results)):
+        mutation = "add_attr"
+    if mutation == "erase":
+        op.erase()
+    elif mutation == "add_attr":
+        op.attributes["__probe"] = IntAttr(data.draw(st.integers(0, 7), label="value"))
+    else:  # name hints must not participate in the hash at all
+        for result in op.results:
+            result.name_hint = "renamed"
+    incremental = module_hash(module)
+    cold = module_hash(module.clone())
+    assert incremental == cold
+    assert incremental == module_hash(parse_module(print_module(module)))
+
+
 def test_module_hash_distinguishes_op_order():
     def build(order):
         module = ModuleOp()

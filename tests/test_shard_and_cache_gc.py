@@ -1,0 +1,152 @@
+"""Deterministic matrix sharding and cache eviction/GC."""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.core.compile_cache import CacheKey, CompileCache
+from repro.evaluation.harness import (
+    DEFAULT_CASES,
+    BenchmarkCase,
+    EvaluationHarness,
+    parse_shard,
+    select_shard,
+)
+from repro.evaluation.report import main as report_main
+from repro.evaluation.report import merge_results, results_to_json
+from repro.kernels.grids import PW_ADVECTION_SIZES, TRACER_ADVECTION_SIZES
+
+
+class TestParseShard:
+    def test_valid(self):
+        assert parse_shard("1/1") == (1, 1)
+        assert parse_shard("2/4") == (2, 4)
+
+    @pytest.mark.parametrize("text", ["0/4", "5/4", "2", "a/b", "2/0", "-1/3", ""])
+    def test_invalid(self, text):
+        with pytest.raises(ValueError):
+            parse_shard(text)
+
+
+class TestSelectShard:
+    @pytest.mark.parametrize("count", [1, 2, 3, 4, 7, len(DEFAULT_CASES)])
+    def test_shards_partition_the_matrix_exactly(self, count):
+        shards = [select_shard(DEFAULT_CASES, i, count) for i in range(1, count + 1)]
+        flattened = [case for shard in shards for case in shard]
+        # Exact partition: every case exactly once, nothing added or lost.
+        assert sorted(flattened, key=DEFAULT_CASES.index) == list(DEFAULT_CASES)
+        assert len(flattened) == len(DEFAULT_CASES)
+        # Strided selection keeps shard sizes balanced within one case.
+        sizes = [len(shard) for shard in shards]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            select_shard(DEFAULT_CASES, 3, 2)
+
+    def test_sharded_runs_merge_to_the_full_matrix(self):
+        cases = [
+            BenchmarkCase("pw_advection", PW_ADVECTION_SIZES["8M"], "Stencil-HMLS"),
+            BenchmarkCase("pw_advection", PW_ADVECTION_SIZES["32M"], "Stencil-HMLS"),
+            BenchmarkCase("tracer_advection", TRACER_ADVECTION_SIZES["8M"], "Stencil-HMLS"),
+        ]
+        harness = EvaluationHarness(repeats=1)
+        full = json.loads(results_to_json(harness.run_matrix(cases=cases), deterministic=True))
+        shard_sets = []
+        for index in (1, 2):
+            shard_cases = select_shard(cases, index, 2)
+            shard_harness = EvaluationHarness(repeats=1)
+            shard_sets.append(
+                json.loads(
+                    results_to_json(
+                        shard_harness.run_matrix(cases=shard_cases), deterministic=True
+                    )
+                )
+            )
+        merged = merge_results(*shard_sets)
+        assert merged == merge_results(full)
+
+    def test_report_cli_accepts_shard(self, tmp_path, capsys):
+        out = tmp_path / "shard.json"
+        code = report_main(
+            ["--quick", "--repeats", "1", "--shard", "1/2", "--output", str(out),
+             "--deterministic"]
+        )
+        capsys.readouterr()
+        assert code == 0
+        entries = json.loads(out.read_text())
+        assert entries  # half the quick matrix, not nothing
+        full_quick_cases = 2  # pw + tracer at the smallest size
+        assert len({e["kernel"] for e in entries}) <= full_quick_cases
+
+    def test_report_cli_rejects_bad_shard(self, capsys):
+        with pytest.raises(SystemExit):
+            report_main(["--quick", "--shard", "9/2"])
+        capsys.readouterr()
+
+
+class TestCacheGC:
+    def _fill(self, cache: CompileCache, count: int, payload_bytes: int = 2000):
+        keys = []
+        for index in range(count):
+            key = CacheKey(module_hash=f"m{index}")
+            cache.put(key, "result", "x" * payload_bytes)
+            keys.append(key)
+            # Distinct mtimes make LRU order deterministic on coarse clocks.
+            path = cache._path(key.digest("result"))
+            stamp = time.time() - (count - index) * 10
+            os.utime(path, (stamp, stamp))
+        return keys
+
+    def test_disk_bytes_accounts_entries(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        assert cache.disk_bytes() == 0
+        self._fill(cache, 3)
+        total = cache.disk_bytes()
+        assert total > 0
+        assert cache.stats.disk_bytes == total
+
+    def test_gc_evicts_oldest_first_down_to_budget(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        keys = self._fill(cache, 5)
+        total = cache.disk_bytes()
+        per_entry = total // 5
+        evicted = cache.gc(max_bytes=3 * per_entry)
+        assert evicted == 2
+        assert cache.stats.evicted_entries == 2
+        assert cache.stats.evicted_bytes > 0
+        assert cache.stats.disk_bytes <= 3 * per_entry
+        # The two oldest entries are gone from disk, the newest three remain.
+        fresh = CompileCache(tmp_path)  # no memory tier
+        assert fresh.get(keys[0], "result") is None
+        assert fresh.get(keys[1], "result") is None
+        for key in keys[2:]:
+            assert fresh.get(key, "result") is not None
+
+    def test_gc_to_zero_clears_disk(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        self._fill(cache, 3)
+        assert cache.gc(max_bytes=0) == 3
+        assert cache.disk_bytes() == 0
+        # The memory tier is deliberately untouched.
+        assert len(cache) == 3
+
+    def test_gc_noop_within_budget(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        self._fill(cache, 2)
+        assert cache.gc(max_bytes=10_000_000) == 0
+        assert cache.stats.evicted_entries == 0
+
+    def test_gc_rejects_negative_budget(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        with pytest.raises(ValueError):
+            cache.gc(max_bytes=-1)
+
+    def test_gc_memory_only_cache_is_noop(self):
+        cache = CompileCache()
+        cache.put(CacheKey(module_hash="m"), "result", "payload")
+        assert cache.gc(max_bytes=0) == 0
