@@ -1,11 +1,17 @@
 """Quickstart: write a stencil, compile it with Stencil-HMLS, run it.
 
 This mirrors the flow of Figure 1 of the paper on a small 3-D diffusion
-stencil: express the kernel (here through the programmatic builder), lower
-it through the stencil dialect → HLS dialect → annotated LLVM dialect →
-f++ → Vitis-like synthesis, "program" the resulting xclbin onto the
-simulated Alveo U280 and execute it both functionally (checking the result
-against numpy) and as a performance/energy estimate at a paper-scale size.
+stencil: express the kernel (here through the programmatic builder), then
+let the compiler schedule its default textual pipeline through the pass
+registry — `canonicalize`, the six staged stencil→HLS sub-passes
+(shape-inference → interface-lowering → small-data-buffering →
+wave-pipelining → compute-split → bundle-assignment, see
+docs/passes.md), `convert-hls-to-llvm` — followed by f++ preprocessing
+and Vitis-like synthesis.  Finally "program" the resulting xclbin onto
+the simulated Alveo U280 and execute it both functionally (checking the
+result against numpy) and as a performance/energy estimate at a
+paper-scale size.  Pass `pass_pipeline="..."` to `StencilHMLSCompiler`
+(or `--pass-pipeline` on the CLI) to customise the schedule.
 
 Run with:  python examples/quickstart.py
 """

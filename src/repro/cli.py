@@ -5,6 +5,9 @@
   ``vitis`` Makefile targets.
 * ``shmls-bench`` — regenerate the evaluation figures/tables, the equivalent
   of ``benchmarks/run_benchmarks.py`` + the plotting scripts.
+* ``shmls-orchestrate`` — plan, shard and run the scenario matrix across
+  workers with prefix-aware scheduling, streaming JSONL progress and a
+  resumability manifest (see ``docs/orchestration.md``).
 """
 
 from __future__ import annotations
@@ -115,6 +118,12 @@ def main_compile(argv: list[str] | None = None) -> int:
 
 def main_bench(argv: list[str] | None = None) -> int:
     return report_module.main(argv)
+
+
+def main_orchestrate(argv: list[str] | None = None) -> int:
+    from repro.evaluation import orchestrator
+
+    return orchestrator.main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -39,7 +39,21 @@ _PICKLE_RECURSION_LIMIT = 100_000
 
 @dataclass(frozen=True)
 class CacheKey:
-    """Content address of one compilation session."""
+    """Content address of one compilation session.
+
+    Keys are value objects; :meth:`digest` mixes in the *stage* name so
+    one session can store several independent artefacts.  They serialise
+    losslessly to JSON (:meth:`as_dict` / :meth:`from_dict`), which is how
+    the orchestrator's resumability manifest records completed cases.
+
+    >>> key = CacheKey(module_hash="abc", pipeline="canonicalize")
+    >>> CacheKey.from_dict(key.as_dict()) == key
+    True
+    >>> key.digest("result") == key.digest("result")
+    True
+    >>> key.digest("result") != key.digest("middle-end")
+    True
+    """
 
     module_hash: str
     pipeline: str = ""
@@ -47,10 +61,30 @@ class CacheKey:
     extra: str = ""
 
     def digest(self, stage: str) -> str:
+        """Stable hex digest of this key for one stage name."""
         from repro.ir.hashing import fingerprint_text
 
         return fingerprint_text(
             "\x1f".join((stage, self.module_hash, self.pipeline, self.options, self.extra))
+        )
+
+    def as_dict(self) -> dict[str, str]:
+        """This key as a JSON-safe dict (the manifest export form)."""
+        return {
+            "module_hash": self.module_hash,
+            "pipeline": self.pipeline,
+            "options": self.options,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, entry: dict[str, str]) -> "CacheKey":
+        """Rebuild a key exported by :meth:`as_dict`."""
+        return cls(
+            module_hash=entry["module_hash"],
+            pipeline=entry.get("pipeline", ""),
+            options=entry.get("options", ""),
+            extra=entry.get("extra", ""),
         )
 
 
@@ -127,7 +161,21 @@ class CacheStats:
 
 
 class CompileCache:
-    """Two-tier (memory + optional disk) content-addressed artefact store."""
+    """Two-tier (memory + optional disk) content-addressed artefact store.
+
+    >>> cache = CompileCache()                       # memory-only tier
+    >>> key = CacheKey(module_hash="abc", pipeline="canonicalize")
+    >>> cache.get(key, "result") is None             # cold: a miss
+    True
+    >>> cache.put(key, "result", {"mpts": 1.5})
+    >>> cache.get(key, "result")
+    {'mpts': 1.5}
+    >>> cache.stats.total_hits, cache.stats.total_misses
+    (1, 1)
+
+    Pass ``cache_dir`` to add the on-disk tier (pickled, written
+    atomically, safe to share between parallel evaluation workers).
+    """
 
     def __init__(self, cache_dir: str | Path | None = None) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None

@@ -94,6 +94,10 @@ def staged_variant(pass_name: str, **options: object) -> str:
     ``staged_variant("stencil-wave-pipelining", depth=32)`` renders
     ``...,stencil-wave-pipelining{depth=32},...`` — the canonical way to
     build one point of an ablation axis.
+
+    >>> "stencil-wave-pipelining{depth=32}" in staged_variant(
+    ...     "stencil-wave-pipelining", depth=32)
+    True
     """
     entries = STAGED_PIPELINE.split(",")
     if pass_name not in entries:
@@ -148,7 +152,15 @@ DEFAULT_CASES: list[BenchmarkCase] = [
 
 
 def parse_shard(text: str) -> tuple[int, int]:
-    """Parse a ``i/n`` shard selector (1-based) into ``(index, count)``."""
+    """Parse a ``i/n`` shard selector (1-based) into ``(index, count)``.
+
+    >>> parse_shard("2/4")
+    (2, 4)
+    >>> parse_shard("5/4")
+    Traceback (most recent call last):
+        ...
+    ValueError: invalid shard '5/4': expected i/n with 1 <= i <= n, e.g. 2/4
+    """
     part, sep, total = text.partition("/")
     try:
         index, count = int(part), int(total)
@@ -168,6 +180,11 @@ def select_shard(cases: Sequence[BenchmarkCase], index: int, count: int) -> list
     the matrix exactly and stay balanced across problem sizes.  Results of
     per-shard runs merge back into the full matrix with
     :func:`repro.evaluation.report.merge_result_files`.
+
+    >>> shard1 = select_shard(DEFAULT_CASES, 1, 2)
+    >>> shard2 = select_shard(DEFAULT_CASES, 2, 2)
+    >>> len(shard1) + len(shard2) == len(DEFAULT_CASES)
+    True
     """
     if not (1 <= index <= count):
         raise ValueError(f"shard index {index} out of range 1..{count}")
@@ -190,15 +207,60 @@ def _resolve_framework_names(
     return names
 
 
+def expand_matrix_slots(
+    cases: Iterable[BenchmarkCase], framework_names: Sequence[str]
+) -> list[tuple[BenchmarkCase, str]]:
+    """Expand cases into fully-pinned ``(case, framework name)`` slots, in
+    deterministic case-major order.
+
+    Cases with ``framework=None`` expand over ``framework_names``; pipeline
+    variants describe Stencil-HMLS pass pipelines, so an unpinned
+    non-default-variant case never expands to baselines.  This is the one
+    expansion rule shared by :meth:`EvaluationHarness.run_matrix` and the
+    orchestrator's planner — the two must agree or resume digests would
+    never match.
+    """
+    slots: list[tuple[BenchmarkCase, str]] = []
+    for case in cases:
+        if case.framework is not None:
+            pinned = [case.framework]
+        else:
+            pinned = [
+                name
+                for name in framework_names
+                if case.variant == "default" or name == StencilHMLSFramework.name
+            ]
+            if not pinned:
+                raise ValueError(
+                    f"case {case.label}: pipeline variant '{case.variant}' needs "
+                    f"{StencilHMLSFramework.name}, which is not in the framework "
+                    f"selection ({', '.join(framework_names)})"
+                )
+        for name in pinned:
+            if name not in FRAMEWORKS_BY_NAME:
+                raise KeyError(
+                    f"unknown framework '{name}' (known: {', '.join(FRAMEWORKS_BY_NAME)})"
+                )
+            slots.append((case, name))
+    return slots
+
+
 def _run_case_payload(payload: dict[str, Any]) -> dict[str, Any]:
     """Process-pool worker: evaluate one fully-pinned case.
 
     Takes and returns plain dicts so payloads cross process boundaries
-    cheaply; workers never touch the shared cache (the parent stores
-    results), so no cross-process locking is needed.
+    cheaply.  Workers never touch the parent's ``result`` stage (the
+    parent stores results, so no cross-process locking is needed), but a
+    disk-backed cache directory *is* shared: its writes are atomic, so
+    pool workers reuse each other's ``pass-prefix``/``middle-end``/
+    ``synthesis`` artefacts — without this, ``jobs > 1`` would silently
+    recompile everything prefix-aware scheduling set up to share.
     """
+    cache_dir = payload.get("cache_dir")
     harness = EvaluationHarness(
-        device=device_by_name(payload["device"]), repeats=payload["repeats"]
+        device=device_by_name(payload["device"]),
+        repeats=payload["repeats"],
+        cache=CompileCache(cache_dir) if cache_dir else None,
     )
     case = BenchmarkCase(
         kernel=payload["kernel"],
@@ -214,7 +276,18 @@ def _run_case_payload(payload: dict[str, Any]) -> dict[str, Any]:
 
 @dataclass
 class EvaluationHarness:
-    """Run frameworks over benchmark cases and collect results."""
+    """Run frameworks over benchmark cases and collect results.
+
+    Case expansion is pure and cheap; evaluation happens in
+    :meth:`run_matrix`:
+
+    >>> harness = EvaluationHarness(repeats=1)
+    >>> cases = harness.cases_for("pw_advection", ["8M"],
+    ...                           frameworks=["Stencil-HMLS"],
+    ...                           variants=["staged", "depth-8"])
+    >>> [case.label for case in cases]
+    ['pw_advection/8M/Stencil-HMLS@staged', 'pw_advection/8M/Stencil-HMLS@depth-8']
+    """
 
     device: FPGADevice = ALVEO_U280
     #: The paper averages every measurement over 10 runs.
@@ -320,7 +393,27 @@ class EvaluationHarness:
 
     # -- caching ------------------------------------------------------------------------
 
-    def _result_key(self, case: BenchmarkCase, framework_name: str) -> CacheKey:
+    def result_key(self, case: BenchmarkCase, framework_name: str | None = None) -> CacheKey:
+        """Content address of one fully-evaluated case (the ``result`` stage).
+
+        This is the key the orchestrator's resumability manifest records:
+        a case whose digest is already in the manifest restarts with zero
+        recompiles.  ``framework_name`` defaults to the case's own pin.
+
+        >>> from repro.kernels.grids import PW_ADVECTION_SIZES
+        >>> harness = EvaluationHarness(repeats=1)
+        >>> case = BenchmarkCase("pw_advection", PW_ADVECTION_SIZES["8M"])
+        >>> key = harness.result_key(case, "Vitis")
+        >>> "framework=Vitis" in key.extra and len(key.digest("result")) == 64
+        True
+        """
+        if framework_name is None:
+            if case.framework is None:
+                raise ValueError(
+                    f"case {case.label} is not pinned to a framework; pass "
+                    "framework_name explicitly"
+                )
+            framework_name = case.framework
         variant_spec = PIPELINE_VARIANTS.get(case.variant, case.variant)
         pipeline = ""
         if framework_name == StencilHMLSFramework.name:
@@ -347,42 +440,26 @@ class EvaluationHarness:
         frameworks: Sequence[Type[Framework] | str] | None = None,
         *,
         jobs: int | None = None,
+        on_result: Callable[[BenchmarkCase, str, FrameworkResult, bool], None] | None = None,
     ) -> list[FrameworkResult]:
         """Evaluate a scenario matrix, optionally in parallel and cached.
 
         Cases with ``framework=None`` expand over ``frameworks`` (all five
         by default).  Results come back in deterministic case-major order
         regardless of ``jobs`` or cache state.
+
+        ``on_result(case, framework_name, result, cached)`` fires once per
+        completed case *while the matrix is still running* — cache-served
+        cases first (``cached=True``), then fresh evaluations as they
+        finish — which is how the orchestrator and ``report.py --stream``
+        publish incremental JSONL progress events.
         """
         cases = list(cases) if cases is not None else list(DEFAULT_CASES)
         framework_names = _resolve_framework_names(frameworks)
         jobs = self.jobs if jobs is None else jobs
 
         # 1. Expand the matrix into fully-pinned slots, in deterministic order.
-        slots: list[tuple[BenchmarkCase, str]] = []
-        for case in cases:
-            if case.framework is not None:
-                pinned = [case.framework]
-            else:
-                # Pipeline variants describe Stencil-HMLS pass pipelines; an
-                # unpinned non-default-variant case never expands to baselines.
-                pinned = [
-                    name
-                    for name in framework_names
-                    if case.variant == "default" or name == StencilHMLSFramework.name
-                ]
-                if not pinned:
-                    raise ValueError(
-                        f"case {case.label}: pipeline variant '{case.variant}' needs "
-                        f"{StencilHMLSFramework.name}, which is not in the framework "
-                        f"selection ({', '.join(framework_names)})"
-                    )
-            for name in pinned:
-                if name not in FRAMEWORKS_BY_NAME:
-                    raise KeyError(
-                        f"unknown framework '{name}' (known: {', '.join(FRAMEWORKS_BY_NAME)})"
-                    )
-                slots.append((case, name))
+        slots = expand_matrix_slots(cases, framework_names)
 
         # 2. Cache-aware skipping: fill whole-case hits straight from the cache.
         results: list[FrameworkResult | None] = [None] * len(slots)
@@ -390,14 +467,18 @@ class EvaluationHarness:
         pending: list[int] = []
         for index, (case, name) in enumerate(slots):
             if self.cache is not None:
-                keys[index] = self._result_key(case, name)
+                keys[index] = self.result_key(case, name)
                 payload = self.cache.get(keys[index], "result")
                 if payload is not None:
                     results[index] = FrameworkResult.from_dict(payload)
+                    if on_result is not None:
+                        on_result(case, name, results[index], True)
                     continue
             pending.append(index)
 
         # 3. Evaluate the misses — in-process, or over a process pool.
+        # Either way results are published through ``on_result`` as they
+        # complete (``pool.map`` yields lazily in submission order).
         if jobs > 1 and len(pending) > 1:
             payloads = [
                 {
@@ -408,17 +489,26 @@ class EvaluationHarness:
                     "variant": slots[i][0].variant,
                     "device": self.device.name,
                     "repeats": self.repeats,
+                    "cache_dir": (
+                        str(self.cache.cache_dir)
+                        if self.cache is not None and self.cache.cache_dir is not None
+                        else None
+                    ),
                 }
                 for i in pending
             ]
             with ProcessPoolExecutor(max_workers=min(jobs, len(pending))) as pool:
-                fresh = list(pool.map(_run_case_payload, payloads))
-            for index, payload in zip(pending, fresh):
-                results[index] = FrameworkResult.from_dict(payload)
+                for index, payload in zip(pending, pool.map(_run_case_payload, payloads)):
+                    results[index] = FrameworkResult.from_dict(payload)
+                    if on_result is not None:
+                        case, name = slots[index]
+                        on_result(case, name, results[index], False)
         else:
             for index in pending:
                 case, name = slots[index]
                 results[index] = self.run_case(FRAMEWORKS_BY_NAME[name], case)
+                if on_result is not None:
+                    on_result(case, name, results[index], False)
 
         # 4. Store fresh results for the next warm run.
         if self.cache is not None:
@@ -478,6 +568,11 @@ class EvaluationHarness:
             size_table = KERNEL_SIZES[kernel]
             labels = list(sizes) if sizes is not None else list(size_table)
             for label in labels:
+                if label not in size_table:
+                    raise KeyError(
+                        f"unknown problem size '{label}' for {kernel} "
+                        f"(known: {', '.join(size_table)})"
+                    )
                 for name in framework_names:
                     for variant in variant_list:
                         if variant != "default" and name not in (

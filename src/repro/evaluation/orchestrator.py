@@ -1,0 +1,904 @@
+"""Distributed shard orchestrator for the scenario matrix.
+
+``shmls-orchestrate`` (or ``python -m repro.evaluation.orchestrator``) is
+the driver the ROADMAP names as the unlock for multi-machine scale: it
+plans the full scenario matrix once, orders the cases for maximal
+pass-prefix-cache sharing, fans the resulting shards out through a
+pluggable :class:`ShardLauncher`, streams per-case results over a JSONL
+event channel while the shards are still running, and merges the shard
+artefacts into the usual deterministic report.
+
+The pieces, in pipeline order:
+
+* **Planning** — :func:`plan_matrix` expands cases (pinning frameworks the
+  same way :meth:`EvaluationHarness.run_matrix` does), drops cases already
+  recorded in the resumability manifest, orders the remainder with
+  :func:`order_for_prefix_sharing` and cuts the ordering into contiguous
+  shards with :func:`split_shards` so ablation sweeps that share a
+  pipeline prefix land on the *same* shard (where the per-pass-prefix
+  artefact cache can actually reuse them).
+* **Launching** — :class:`LocalLauncher` runs shards in-process (tests,
+  single machines); :class:`SubprocessLauncher` spawns one
+  ``--run-shard`` worker process per shard.  ``--dry-run`` prints the
+  plan (with the predicted prefix-reuse depth per shard) and exits.
+* **Streaming** — every shard appends ``case_finished`` events to its own
+  ``events-shard<i>.jsonl``; the orchestrator tails those files while the
+  pool runs and forwards them to its own event sink (``--events`` /
+  ``--stream``).
+* **Resuming** — each completed case is appended to
+  ``manifest-shard<i>.jsonl`` keyed by its *result-stage compile-cache
+  digest* (:meth:`EvaluationHarness.result_key`), so a killed sweep
+  restarts with zero recompiles: planned cases whose digest is already in
+  a manifest are served from the manifest, never re-launched.
+* **Merging** — the final report is
+  :func:`repro.evaluation.report.merge_results` over every manifest
+  entry: byte-identical to a single-process run's merged report.
+
+Doctest — planning is pure and cheap enough to inspect directly::
+
+    >>> from repro.evaluation.orchestrator import plan_matrix
+    >>> plan = plan_matrix(shards=2, variants=["staged", "depth-8"],
+    ...                    kernels=["pw_advection"], sizes=["8M"],
+    ...                    frameworks=["Stencil-HMLS"])
+    >>> [len(shard.cases) for shard in plan.shards]
+    [1, 1]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import time
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import Any, Callable, Iterable, Sequence, TextIO
+
+from repro.baselines.stencil_hmls import StencilHMLSFramework
+from repro.core.compile_cache import CompileCache
+from repro.evaluation.harness import (
+    DEFAULT_CASES,
+    PIPELINE_VARIANTS,
+    BenchmarkCase,
+    EvaluationHarness,
+    _resolve_framework_names,
+    expand_matrix_slots,
+)
+from repro.evaluation.metrics import FrameworkResult
+from repro.evaluation.report import merge_results, results_to_json, _deterministic_entry
+from repro.fpga.device import ALVEO_U280, device_by_name
+from repro.ir.pass_registry import _split_top_level, canonical_pipeline_spec
+from repro.kernels.grids import ProblemSize
+
+
+# ---------------------------------------------------------------------------
+# Case (de)serialisation
+# ---------------------------------------------------------------------------
+
+
+def case_to_dict(case: BenchmarkCase) -> dict[str, Any]:
+    """A :class:`BenchmarkCase` as a JSON-safe dict (label *and* shape, so
+    custom problem sizes survive the round-trip)."""
+    return {
+        "kernel": case.kernel,
+        "size": case.size.label,
+        "shape": list(case.size.shape),
+        "framework": case.framework,
+        "variant": case.variant,
+    }
+
+
+def case_from_dict(entry: dict[str, Any]) -> BenchmarkCase:
+    """Inverse of :func:`case_to_dict`.
+
+    >>> from repro.evaluation.harness import DEFAULT_CASES
+    >>> case_from_dict(case_to_dict(DEFAULT_CASES[0])) == DEFAULT_CASES[0]
+    True
+    """
+    return BenchmarkCase(
+        kernel=entry["kernel"],
+        size=ProblemSize(entry["size"], tuple(entry["shape"])),
+        framework=entry.get("framework"),
+        variant=entry.get("variant", "default"),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Prefix-aware scheduling
+# ---------------------------------------------------------------------------
+
+
+@lru_cache(maxsize=None)
+def _canonical_variant_spec(variant: str) -> str:
+    """Canonical spec of one named variant (memoised: planning evaluates
+    it O(case pairs) times over a handful of distinct variants)."""
+    spec = PIPELINE_VARIANTS.get(variant, variant)
+    if spec is None:
+        from repro.core.pipeline import StencilHMLSCompiler
+
+        spec = StencilHMLSCompiler().default_pipeline()
+    return canonical_pipeline_spec(spec)
+
+
+def case_pipeline_spec(case: BenchmarkCase) -> str | None:
+    """Canonicalised pass-pipeline spec of a pinned case (``None`` for
+    baseline frameworks, which model fixed flows without a pipeline)."""
+    if case.framework != StencilHMLSFramework.name:
+        return None
+    return _canonical_variant_spec(case.variant)
+
+
+def shared_prefix_depth(case_a: BenchmarkCase, case_b: BenchmarkCase) -> int:
+    """How many leading pipeline passes two cases can share through the
+    ``pass-prefix`` artefact cache when they run on the same shard.
+
+    Zero unless both cases compile the *same module* (kernel and size)
+    with Stencil-HMLS; otherwise the length of the common prefix of their
+    canonical pipeline specs, counted in passes.
+    """
+    if (case_a.kernel, case_a.size) != (case_b.kernel, case_b.size):
+        return 0
+    spec_a, spec_b = case_pipeline_spec(case_a), case_pipeline_spec(case_b)
+    if spec_a is None or spec_b is None:
+        return 0
+    # Compare rendered entries (name + effective options), not just names:
+    # interface-lowering{ii=2} and {ii=4} diverge at that pass.
+    depth = 0
+    for left, right in zip(_rendered_entries(spec_a), _rendered_entries(spec_b)):
+        if left != right:
+            break
+        depth += 1
+    return depth
+
+
+@lru_cache(maxsize=None)
+def _rendered_entries(spec: str) -> tuple[str, ...]:
+    """A canonical spec's per-pass rendered entries (the registry's
+    brace-aware splitter, memoised per distinct spec)."""
+    return tuple(_split_top_level(spec))
+
+
+def _prefix_sort_key(case: BenchmarkCase) -> tuple:
+    spec = case_pipeline_spec(case)
+    return (
+        0 if spec is not None else 1,        # Stencil-HMLS sweeps first …
+        case.kernel,
+        case.size.label,                     # … grouped per module …
+        spec or "",                          # … clustered by spec prefix
+        case.framework or "",
+        case.variant,
+    )
+
+
+def order_for_prefix_sharing(cases: Sequence[BenchmarkCase]) -> list[BenchmarkCase]:
+    """Order cases so runs sharing long pipeline prefixes are adjacent.
+
+    Lexicographic ordering of canonical specs *is* the trie ordering: two
+    specs sharing a longer prefix sort closer together, so a contiguous
+    shard cut keeps ablation families (``ii-2``/``ii-4``, ``depth-*``)
+    on one worker where the ``pass-prefix`` cache can reuse their shared
+    upstream passes.  Baseline-framework cases carry no pipeline and sort
+    after the Stencil-HMLS sweeps.
+    """
+    return sorted(cases, key=_prefix_sort_key)
+
+
+def split_shards(cases: Sequence[BenchmarkCase], count: int) -> list[list[BenchmarkCase]]:
+    """Cut an ordered case list into ``count`` contiguous, balanced shards,
+    greedily placing each cut where neighbouring cases share the *least*
+    pipeline prefix (so prefix families are not torn apart).
+
+    Shard sizes stay within one case of the even split; empty shards only
+    appear when there are fewer cases than shards.
+    """
+    if count < 1:
+        raise ValueError(f"shard count must be >= 1, got {count}")
+    cases = list(cases)
+    if count == 1:
+        return [cases]
+    if len(cases) <= count:
+        return [[case] for case in cases] + [[] for _ in range(count - len(cases))]
+    affinity = [
+        shared_prefix_depth(cases[i], cases[i + 1]) for i in range(len(cases) - 1)
+    ]
+    base, extra = divmod(len(cases), count)
+    # Even-split boundary targets; each may shift by at most one position
+    # towards a lower-affinity cut without unbalancing the shards.
+    boundaries: list[int] = []
+    position = 0
+    for index in range(count - 1):
+        position += base + (1 if index < extra else 0)
+        boundaries.append(position)
+    adjusted: list[int] = []
+    for index, boundary in enumerate(boundaries):
+        lower = (adjusted[-1] + 1) if adjusted else 1
+        # Leave at least one case for every remaining shard, so no shift
+        # can starve a later boundary of legal positions.
+        upper = len(cases) - (count - 1 - index)
+        candidates = [
+            b for b in (boundary - 1, boundary, boundary + 1)
+            if lower <= b <= upper
+        ]
+        # Non-empty by construction: lower <= boundary+1 (each earlier
+        # boundary shifts at most +1 off targets that are >= 1 apart),
+        # boundary <= upper, and lower <= upper — so boundary or
+        # boundary+1 always lies in [lower, upper].
+        assert candidates, (boundary, lower, upper)
+        best = min(candidates, key=lambda b: (affinity[b - 1], abs(b - boundary), b))
+        adjusted.append(best)
+    shards = []
+    start = 0
+    for boundary in adjusted + [len(cases)]:
+        shards.append(cases[start:boundary])
+        start = boundary
+    return shards
+
+
+# ---------------------------------------------------------------------------
+# The plan
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ShardPlan:
+    """One shard of the orchestrated matrix."""
+
+    index: int                       #: 1-based shard number
+    cases: list[BenchmarkCase]
+
+    @property
+    def prefix_reuse_depth(self) -> int:
+        """Predicted pass-prefix reuse: total shared-prefix passes between
+        consecutive cases of this shard."""
+        return sum(
+            shared_prefix_depth(a, b) for a, b in zip(self.cases, self.cases[1:])
+        )
+
+
+@dataclass
+class OrchestrationPlan:
+    """Everything the launcher needs, plus what the resume skipped."""
+
+    shards: list[ShardPlan]
+    #: (case, manifest result entry) pairs restored instead of re-launched.
+    resumed: list[tuple[BenchmarkCase, dict[str, Any]]] = field(default_factory=list)
+    order: str = "prefix"
+
+    @property
+    def planned_cases(self) -> int:
+        return sum(len(shard.cases) for shard in self.shards)
+
+    def describe(self) -> str:
+        """Human-readable dry-run plan."""
+        lines = [
+            f"orchestration plan: {self.planned_cases} case(s) over "
+            f"{len(self.shards)} shard(s), order={self.order}, "
+            f"{len(self.resumed)} resumed from manifest"
+        ]
+        for shard in self.shards:
+            lines.append(
+                f"  shard {shard.index}: {len(shard.cases)} case(s), "
+                f"predicted prefix reuse {shard.prefix_reuse_depth} pass(es)"
+            )
+            for case in shard.cases:
+                framework = case.framework or "<all>"
+                lines.append(f"    {case.kernel}/{case.size.label}/{framework}@{case.variant}")
+        return "\n".join(lines)
+
+
+def pin_cases(
+    cases: Iterable[BenchmarkCase],
+    frameworks: Sequence[str] | None = None,
+) -> list[BenchmarkCase]:
+    """Expand unpinned cases over ``frameworks`` exactly like
+    :meth:`EvaluationHarness.run_matrix` does (same shared
+    :func:`expand_matrix_slots` rule and framework defaulting), returning
+    fully-pinned cases.
+    """
+    return [
+        BenchmarkCase(case.kernel, case.size, name, case.variant)
+        for case, name in expand_matrix_slots(
+            cases, _resolve_framework_names(frameworks)
+        )
+    ]
+
+
+def plan_matrix(
+    cases: Iterable[BenchmarkCase] | None = None,
+    *,
+    shards: int = 1,
+    order: str = "prefix",
+    frameworks: Sequence[str] | None = None,
+    kernels: Sequence[str] | None = None,
+    sizes: Sequence[str] | None = None,
+    variants: Sequence[str] | None = None,
+    completed: dict[str, dict[str, Any]] | None = None,
+    harness: EvaluationHarness | None = None,
+) -> OrchestrationPlan:
+    """Plan the orchestrated matrix.
+
+    ``cases`` defaults to the paper matrix (or a cartesian
+    kernel × size × framework × variant expansion when ``kernels`` /
+    ``variants`` are given).  ``completed`` maps result-stage cache-key
+    digests to manifest entries; matching cases are resumed, not planned.
+    ``order`` is ``prefix`` (prefix-aware, the default) or ``case``
+    (legacy case-major strided sharding, for comparison).
+    """
+    if order not in ("prefix", "case"):
+        raise ValueError(f"unknown order '{order}' (use 'prefix' or 'case')")
+    if shards < 1:
+        raise ValueError(f"shard count must be >= 1, got {shards}")
+    harness = harness or EvaluationHarness(repeats=1)
+    if cases is None:
+        if kernels is not None or variants is not None or sizes is not None:
+            cases = harness.cases_for(kernels=kernels, sizes=sizes, variants=variants)
+        else:
+            cases = DEFAULT_CASES
+    pinned = pin_cases(cases, frameworks)
+
+    resumed: list[tuple[BenchmarkCase, dict[str, Any]]] = []
+    todo: list[BenchmarkCase] = []
+    for case in pinned:
+        entry = None
+        if completed:
+            digest = harness.result_key(case).digest("result")
+            entry = completed.get(digest)
+        if entry is not None:
+            resumed.append((case, entry))
+        else:
+            todo.append(case)
+
+    if order == "prefix":
+        ordered = order_for_prefix_sharing(todo)
+        chunks = split_shards(ordered, shards)
+    else:
+        chunks = [todo[i::shards] for i in range(shards)]
+    return OrchestrationPlan(
+        shards=[ShardPlan(i + 1, chunk) for i, chunk in enumerate(chunks)],
+        resumed=resumed,
+        order=order,
+    )
+
+
+# ---------------------------------------------------------------------------
+# JSONL event channel
+# ---------------------------------------------------------------------------
+
+
+class EventWriter:
+    """Append-only JSONL event sink: a file path, any text stream, or both
+    (``echo=True`` additionally prints every event to stdout)."""
+
+    def __init__(
+        self, target: str | Path | TextIO | None, *, echo: bool = False
+    ) -> None:
+        self._path: Path | None = None
+        self._stream: TextIO | None = None
+        self.echo = echo
+        if target is None:
+            pass
+        elif isinstance(target, (str, Path)):
+            self._path = Path(target)
+            self._path.parent.mkdir(parents=True, exist_ok=True)
+            self._path.write_text("")
+        else:
+            self._stream = target
+
+    def emit(self, event: str, **payload: Any) -> dict[str, Any]:
+        record = {"event": event, **payload}
+        line = json.dumps(record, sort_keys=True)
+        if self._path is not None:
+            with self._path.open("a") as handle:
+                handle.write(line + "\n")
+                handle.flush()
+        if self._stream is not None:
+            self._stream.write(line + "\n")
+            self._stream.flush()
+        if self.echo:
+            print(line, flush=True)
+        return record
+
+
+def read_events(path: str | Path) -> list[dict[str, Any]]:
+    """All events of one JSONL file (missing file = no events yet)."""
+    try:
+        text = Path(path).read_text()
+    except OSError:
+        return []
+    events = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            events.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # a partially-written trailing line; the next poll gets it
+    return events
+
+
+class _EventForwarder:
+    """Incrementally tail shard event files into the orchestrator's sink."""
+
+    def __init__(self, paths: Sequence[Path], sink: EventWriter) -> None:
+        self.paths = list(paths)
+        self.sink = sink
+        self._offsets = {path: 0 for path in self.paths}
+
+    def poll(self) -> int:
+        forwarded = 0
+        for path in self.paths:
+            try:
+                with path.open() as handle:
+                    handle.seek(self._offsets[path])
+                    chunk = handle.read()
+            except OSError:
+                continue
+            if not chunk:
+                continue
+            lines = chunk.splitlines(keepends=True)
+            consumed = 0
+            for line in lines:
+                if not line.endswith("\n"):
+                    break  # incomplete trailing write; re-read next poll
+                consumed += len(line)
+                text = line.strip()
+                if text:
+                    try:
+                        record = json.loads(text)
+                    except json.JSONDecodeError:
+                        continue
+                    self.sink.emit(record.pop("event", "unknown"), **record)
+                    forwarded += 1
+            self._offsets[path] += consumed
+        return forwarded
+
+
+# ---------------------------------------------------------------------------
+# Shard execution (worker side)
+# ---------------------------------------------------------------------------
+
+#: Exit code of a shard that stopped before finishing all its cases.
+EXIT_INTERRUPTED = 3
+
+
+def _manifest_path(state_dir: Path, shard_index: int) -> Path:
+    return state_dir / f"manifest-shard{shard_index}.jsonl"
+
+
+def load_manifest(state_dir: str | Path) -> dict[str, dict[str, Any]]:
+    """The resumability manifest: result-key digest → manifest entry, merged
+    over every ``manifest-shard*.jsonl`` in the state directory."""
+    completed: dict[str, dict[str, Any]] = {}
+    for path in sorted(Path(state_dir).glob("manifest-shard*.jsonl")):
+        for entry in read_events(path):
+            digest = entry.get("digest")
+            if digest and "result" in entry:
+                completed[digest] = entry
+    return completed
+
+
+def shard_spec(
+    shard: ShardPlan,
+    *,
+    state_dir: Path,
+    device: str = ALVEO_U280.name,
+    repeats: int = 1,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    cache_max_bytes: int | None = None,
+    max_cases: int | None = None,
+) -> dict[str, Any]:
+    """The JSON-safe job description one shard worker executes."""
+    return {
+        "shard": shard.index,
+        "cases": [case_to_dict(case) for case in shard.cases],
+        "device": device,
+        "repeats": repeats,
+        "jobs": jobs,
+        "cache_dir": cache_dir,
+        "cache_max_bytes": cache_max_bytes,
+        "max_cases": max_cases,
+        "state_dir": str(state_dir),
+        "events": str(state_dir / f"events-shard{shard.index}.jsonl"),
+        "results": str(state_dir / f"results-shard{shard.index}.json"),
+        "manifest": str(_manifest_path(state_dir, shard.index)),
+    }
+
+
+def run_shard_spec(spec: dict[str, Any]) -> int:
+    """Execute one shard: run its cases, streaming an event and appending a
+    manifest line per completed case, then write the shard's results file.
+
+    Returns 0, or :data:`EXIT_INTERRUPTED` when ``max_cases`` stopped the
+    shard early (the kill-and-resume path CI exercises).
+    """
+    shard_index = spec["shard"]
+    cases = [case_from_dict(entry) for entry in spec["cases"]]
+    max_cases = spec.get("max_cases")
+    interrupted = False
+    if max_cases is not None and len(cases) > max_cases:
+        cases = cases[:max_cases]
+        interrupted = True
+
+    cache = CompileCache(spec["cache_dir"]) if spec.get("cache_dir") else None
+    harness = EvaluationHarness(
+        device=device_by_name(spec["device"]),
+        repeats=spec["repeats"],
+        cache=cache,
+        jobs=max(spec.get("jobs", 1), 1),
+    )
+    events = EventWriter(spec["events"])
+    manifest = Path(spec["manifest"])
+    manifest.parent.mkdir(parents=True, exist_ok=True)
+    events.emit(
+        "shard_started", shard=shard_index, cases=len(cases),
+        interrupted_after=max_cases if interrupted else None,
+    )
+
+    finished = 0
+
+    def on_result(
+        case: BenchmarkCase, framework: str, result: FrameworkResult, cached: bool
+    ) -> None:
+        nonlocal finished
+        finished += 1
+        key = harness.result_key(case, framework)
+        entry = {
+            "digest": key.digest("result"),
+            "key": key.as_dict(),
+            "case": case_to_dict(case),
+            "result": _deterministic_entry(result.as_dict()),
+        }
+        with manifest.open("a") as handle:
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+        events.emit(
+            "case_finished",
+            shard=shard_index,
+            label=case.label,
+            framework=framework,
+            variant=case.variant,
+            status=result.status,
+            cached=cached,
+            digest=entry["digest"],
+            index=finished,
+        )
+
+    results = harness.run_matrix(cases=cases, on_result=on_result)
+    results_to_json(results, spec["results"], deterministic=True)
+    if cache is not None and spec.get("cache_max_bytes") is not None:
+        cache.gc(spec["cache_max_bytes"])
+    events.emit(
+        "shard_finished",
+        shard=shard_index,
+        completed=len(results),
+        interrupted=interrupted,
+        cache_stats=cache.stats.as_dict() if cache is not None else None,
+    )
+    return EXIT_INTERRUPTED if interrupted else 0
+
+
+# ---------------------------------------------------------------------------
+# Launchers
+# ---------------------------------------------------------------------------
+
+
+class ShardLauncher:
+    """Fans shard jobs out to workers.  ``launch`` starts every shard;
+    ``wait`` blocks until they all exited, invoking ``poll`` (the event
+    forwarder) in between, and returns the per-shard exit codes."""
+
+    name = "abstract"
+
+    def launch(self, specs: list[dict[str, Any]]) -> None:
+        raise NotImplementedError
+
+    def wait(self, poll: Callable[[], int] | None = None) -> list[int]:
+        raise NotImplementedError
+
+
+class LocalLauncher(ShardLauncher):
+    """Run every shard sequentially in this process.
+
+    Deterministic and dependency-free: the backend for tests, dry runs
+    and single-machine sweeps where per-shard ``--jobs`` already provides
+    the parallelism.
+    """
+
+    name = "local"
+
+    def __init__(self) -> None:
+        self._codes: list[int] = []
+        self._specs: list[dict[str, Any]] = []
+
+    def launch(self, specs: list[dict[str, Any]]) -> None:
+        self._specs = specs
+
+    def wait(self, poll: Callable[[], int] | None = None) -> list[int]:
+        self._codes = []
+        for spec in self._specs:
+            self._codes.append(run_shard_spec(spec))
+            if poll is not None:
+                poll()
+        return self._codes
+
+
+class SubprocessLauncher(ShardLauncher):
+    """One ``python -m repro.evaluation.orchestrator --run-shard`` process
+    per shard — the machine-list backend's local degenerate case (a remote
+    backend only needs to prefix the same argv with ``ssh host``)."""
+
+    name = "subprocess"
+
+    def __init__(self, python: str | None = None) -> None:
+        self.python = python or sys.executable
+        self._procs: list[subprocess.Popen] = []
+
+    def launch(self, specs: list[dict[str, Any]]) -> None:
+        env = dict(os.environ)
+        # Workers must import repro exactly as this process does.
+        src_dir = str(Path(__file__).resolve().parents[2])
+        parts = [src_dir] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
+        env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
+        self._procs = []
+        for spec in specs:
+            spec_path = Path(spec["state_dir"]) / f"shard{spec['shard']}.json"
+            spec_path.write_text(json.dumps(spec, indent=2, sort_keys=True))
+            self._procs.append(
+                subprocess.Popen(
+                    [self.python, "-m", "repro.evaluation.orchestrator",
+                     "--run-shard", str(spec_path)],
+                    env=env,
+                )
+            )
+
+    def wait(self, poll: Callable[[], int] | None = None) -> list[int]:
+        while any(proc.poll() is None for proc in self._procs):
+            if poll is not None:
+                poll()
+            time.sleep(0.05)
+        if poll is not None:
+            poll()
+        return [proc.returncode for proc in self._procs]
+
+
+LAUNCHERS: dict[str, Callable[[], ShardLauncher]] = {
+    "local": LocalLauncher,
+    "subprocess": SubprocessLauncher,
+}
+
+
+# ---------------------------------------------------------------------------
+# The orchestrator driver
+# ---------------------------------------------------------------------------
+
+
+def orchestrate(
+    plan: OrchestrationPlan,
+    *,
+    state_dir: str | Path,
+    launcher: ShardLauncher | str = "local",
+    device: str = ALVEO_U280.name,
+    repeats: int = 1,
+    jobs: int = 1,
+    cache_dir: str | None = None,
+    cache_max_bytes: int | None = None,
+    max_cases_per_shard: int | None = None,
+    events: EventWriter | None = None,
+    output: str | Path | None = None,
+) -> tuple[int, list[dict[str, Any]]]:
+    """Run a planned matrix end-to-end.
+
+    Returns ``(exit_code, merged_entries)``: 0 when every planned case
+    completed; :data:`EXIT_INTERRUPTED` when shards stopped at a
+    ``max_cases_per_shard`` budget (resumable — re-run with the same
+    state dir); 1 when a worker crashed or vanished without recording
+    its cases.  Partial results are merged and written in every case.
+    """
+    state_dir = Path(state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    if isinstance(launcher, str):
+        launcher = LAUNCHERS[launcher]()
+    events = events or EventWriter(None)
+
+    specs = [
+        shard_spec(
+            shard,
+            state_dir=state_dir,
+            device=device,
+            repeats=repeats,
+            jobs=jobs,
+            cache_dir=cache_dir,
+            cache_max_bytes=cache_max_bytes,
+            max_cases=max_cases_per_shard,
+        )
+        for shard in plan.shards
+        if shard.cases
+    ]
+    events.emit(
+        "plan",
+        shards=len(specs),
+        cases=plan.planned_cases,
+        resumed=len(plan.resumed),
+        order=plan.order,
+        launcher=launcher.name,
+    )
+    forwarder = _EventForwarder([Path(spec["events"]) for spec in specs], events)
+    # Shard event files are recreated by the workers; start tails at zero
+    # against the previous run's leftovers.
+    for spec in specs:
+        Path(spec["events"]).write_text("")
+    launcher.launch(specs)
+    codes = launcher.wait(poll=forwarder.poll)
+
+    manifest = load_manifest(state_dir)
+    harness = EvaluationHarness(device=device_by_name(device), repeats=repeats)
+    planned_digests = {
+        harness.result_key(case).digest("result")
+        for shard in plan.shards
+        for case in shard.cases
+    }
+    # Merge exactly the requested matrix (this run's cases + the ones the
+    # plan resumed) — the state dir's manifest may hold results of other
+    # sweeps that must not leak into this report.
+    wanted = planned_digests | {entry["digest"] for _, entry in plan.resumed}
+    merged = merge_results(
+        entry["result"]
+        for digest, entry in manifest.items()
+        if digest in wanted
+    )
+    payload = json.dumps(merged, indent=2, sort_keys=True)
+    if output is not None:
+        Path(output).write_text(payload)
+
+    missing = planned_digests - set(manifest)
+    crashed = [code for code in codes if code not in (0, EXIT_INTERRUPTED)]
+    interrupted = any(code == EXIT_INTERRUPTED for code in codes)
+    ok = not missing and not crashed and not interrupted
+    events.emit(
+        "run_finished",
+        ok=ok,
+        planned=plan.planned_cases,
+        completed=plan.planned_cases - len(missing),
+        resumed=len(plan.resumed),
+        merged_entries=len(merged),
+        shard_exit_codes=codes,
+        crashed_shards=len(crashed),
+    )
+    if ok:
+        exit_code = 0
+    elif crashed or (missing and not interrupted):
+        # A worker died (or "succeeded" without recording its cases):
+        # a bug, not a resumable budget stop — fail loudly, don't return
+        # the retryable EXIT_INTERRUPTED.
+        exit_code = 1
+    else:
+        exit_code = EXIT_INTERRUPTED
+    return exit_code, merged
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="shmls-orchestrate",
+        description="Plan, shard and run the scenario matrix across workers, "
+        "streaming results and resuming killed sweeps with zero recompiles",
+    )
+    parser.add_argument("--shards", type=int, default=2, metavar="N",
+                        help="number of shards to fan the matrix out to (default 2)")
+    parser.add_argument("--launcher", choices=sorted(LAUNCHERS), default="local",
+                        help="shard backend: in-process 'local' or one "
+                        "'subprocess' worker per shard")
+    parser.add_argument("--order", choices=("prefix", "case"), default="prefix",
+                        help="case ordering: prefix-aware grouping (default) or "
+                        "legacy case-major striding")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="process-pool width inside each shard (default 1)")
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="runs to average each measurement over (default 1)")
+    parser.add_argument("--device", default=ALVEO_U280.name, help="target device")
+    parser.add_argument("--quick", action="store_true",
+                        help="smallest problem sizes only")
+    parser.add_argument("--kernels", nargs="+", default=None, metavar="KERNEL",
+                        help="kernels to sweep (default: the full paper matrix)")
+    parser.add_argument("--sizes", nargs="+", default=None, metavar="LABEL",
+                        help="problem-size labels to sweep")
+    parser.add_argument("--frameworks", nargs="+", default=None, metavar="NAME",
+                        help="frameworks to evaluate (default: all five)")
+    parser.add_argument("--variants", nargs="+", default=None, metavar="NAME",
+                        help="pipeline variants to sweep (e.g. the staged "
+                        "ablation axis; pairs with Stencil-HMLS)")
+    parser.add_argument("--state-dir", default=".shmls-orchestrate", metavar="DIR",
+                        help="run directory for shard specs, manifests and "
+                        "event streams (default .shmls-orchestrate)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="shared content-addressed compile-cache directory")
+    parser.add_argument("--cache-max-bytes", type=int, default=None, metavar="BYTES",
+                        help="evict least-recently-used cache entries down to "
+                        "this on-disk budget after each shard")
+    parser.add_argument("--output", default=None, metavar="FILE",
+                        help="write the merged deterministic report here")
+    parser.add_argument("--events", default=None, metavar="FILE",
+                        help="write the orchestrator's JSONL event stream here")
+    parser.add_argument("--stream", action="store_true",
+                        help="stream JSONL events to stdout while shards run")
+    parser.add_argument("--dry-run", action="store_true",
+                        help="print the shard plan and exit without running")
+    parser.add_argument("--fresh", action="store_true",
+                        help="ignore (and discard) the resume manifest in "
+                        "--state-dir and re-run every case")
+    parser.add_argument("--max-cases-per-shard", type=int, default=None, metavar="N",
+                        help="stop each shard after N cases (smoke tests / "
+                        "budgeted partial runs; the next run resumes)")
+    parser.add_argument("--run-shard", default=None, metavar="SPEC.json",
+                        help=argparse.SUPPRESS)  # internal worker entry point
+    args = parser.parse_args(argv)
+
+    if args.run_shard is not None:
+        return run_shard_spec(json.loads(Path(args.run_shard).read_text()))
+
+    state_dir = Path(args.state_dir)
+    state_dir.mkdir(parents=True, exist_ok=True)
+    if args.fresh:
+        for path in state_dir.glob("manifest-shard*.jsonl"):
+            path.unlink()
+    completed = load_manifest(state_dir)
+
+    sizes = args.sizes
+    kernels = args.kernels
+    if args.quick and sizes is None:
+        sizes = ["8M"]
+    harness = EvaluationHarness(device=device_by_name(args.device), repeats=args.repeats)
+    try:
+        plan = plan_matrix(
+            shards=args.shards,
+            order=args.order,
+            frameworks=args.frameworks,
+            kernels=kernels,
+            sizes=sizes,
+            variants=args.variants,
+            completed=completed,
+            harness=harness,
+        )
+    except (KeyError, ValueError) as err:
+        # KeyError's str() wraps the message in quotes; unwrap for the CLI.
+        parser.error(err.args[0] if err.args else str(err))
+
+    if args.dry_run:
+        print(plan.describe())
+        return 0
+
+    events = EventWriter(args.events, echo=args.stream)
+
+    code, merged = orchestrate(
+        plan,
+        state_dir=state_dir,
+        launcher=args.launcher,
+        device=args.device,
+        repeats=args.repeats,
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        cache_max_bytes=args.cache_max_bytes,
+        max_cases_per_shard=args.max_cases_per_shard,
+        events=events,
+        output=args.output,
+    )
+    print(
+        f"orchestrated {plan.planned_cases} case(s) over "
+        f"{sum(1 for s in plan.shards if s.cases)} shard(s); "
+        f"{len(plan.resumed)} resumed; merged report has {len(merged)} entries"
+        + (f" -> {args.output}" if args.output else "")
+    )
+    return code
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -113,6 +113,11 @@ def merge_results(*result_sets: Iterable[dict[str, Any]]) -> list[dict[str, Any]
     Later sets win on conflicts (a re-run supersedes stale entries); output
     order is deterministic — sorted by kernel, size, framework and variant —
     so merged reports from any shard/job split compare byte-for-byte.
+
+    >>> stale = [{"kernel": "pw", "size": "8M", "framework": "F", "mpts": 0}]
+    >>> fresh = [{"kernel": "pw", "size": "8M", "framework": "F", "mpts": 9}]
+    >>> merge_results(stale, fresh)[0]["mpts"]
+    9
     """
     merged: dict[tuple, dict[str, Any]] = {}
     for result_set in result_sets:
@@ -185,6 +190,9 @@ def main(argv: list[str] | None = None) -> int:
                         "(1-based); merge shard outputs with merge_result_files")
     parser.add_argument("--deterministic", action="store_true",
                         help="strip wall-clock noise from --output JSON so runs compare byte-for-byte")
+    parser.add_argument("--stream", action="store_true",
+                        help="print a JSONL progress event per completed case "
+                        "while the matrix is still running")
     args = parser.parse_args(argv)
 
     cache = None
@@ -200,7 +208,29 @@ def main(argv: list[str] | None = None) -> int:
         except ValueError as err:
             parser.error(str(err))
         cases = select_shard(cases, index, count)
-    results = harness.run_matrix(cases=cases)
+    on_result = None
+    if args.stream:
+        progress = {"done": 0}
+
+        def on_result(case, framework, result, cached):
+            progress["done"] += 1
+            print(
+                json.dumps(
+                    {
+                        "event": "case_finished",
+                        "label": case.label,
+                        "framework": framework,
+                        "variant": case.variant,
+                        "status": result.status,
+                        "cached": cached,
+                        "index": progress["done"],
+                    },
+                    sort_keys=True,
+                ),
+                flush=True,
+            )
+
+    results = harness.run_matrix(cases=cases, on_result=on_result)
 
     if args.output:
         results_to_json(results, args.output, deterministic=args.deterministic)

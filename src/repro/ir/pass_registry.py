@@ -74,7 +74,11 @@ def _split_top_level(spec: str) -> list[str]:
 
 
 def parse_pipeline_spec(spec: str) -> list[tuple[str, dict[str, Any]]]:
-    """Parse a textual spec into ``(pass name, options)`` entries."""
+    """Parse a textual spec into ``(pass name, options)`` entries.
+
+    >>> parse_pipeline_spec("canonicalize,stencil-to-hls{pack=0,ii=2}")
+    [('canonicalize', {}), ('stencil-to-hls', {'pack': 0, 'ii': 2})]
+    """
     entries: list[tuple[str, dict[str, Any]]] = []
     for chunk in _split_top_level(spec):
         options: dict[str, Any] = {}
@@ -107,7 +111,20 @@ def parse_pipeline_spec(spec: str) -> list[tuple[str, dict[str, Any]]]:
 
 
 class PassRegistry:
-    """Maps pass names (and aliases) to factories producing pass instances."""
+    """Maps pass names (and aliases) to factories producing pass instances.
+
+    The default registry carries every built-in pass (registered lazily on
+    first use); `docs/passes.md` is generated from it.
+
+    >>> registry = PassRegistry.default()
+    >>> "canonicalize" in registry.registered_names
+    True
+    >>> registry.resolve("stencil-to-hls")       # aliases resolve
+    'convert-stencil-to-hls'
+    >>> manager = PassRegistry.parse("canonicalize,cse")
+    >>> manager.pipeline_description()           # round-trips to the spec
+    'canonicalize,cse'
+    """
 
     _default_instance: "PassRegistry | None" = None
 
@@ -200,6 +217,11 @@ def canonical_pipeline_spec(spec: str, *, registry: PassRegistry | None = None) 
     so two specs spelling the same pipeline differently canonicalise to the
     same string while any option difference — e.g. ``stencil-to-hls{pack=0}``
     vs ``{pack=1}`` — is preserved.  This is what cache keys must embed.
+
+    >>> canonical_pipeline_spec("canonicalize , cse")
+    'canonicalize,cse'
+    >>> canonical_pipeline_spec("stencil-to-hls{pack=0}")  # alias resolved
+    'convert-stencil-to-hls{pack=0}'
     """
     registry = registry or PassRegistry.default()
     passes = [registry.create(name, options) for name, options in parse_pipeline_spec(spec)]

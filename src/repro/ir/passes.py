@@ -40,7 +40,11 @@ class PassContext:
 
 
 def format_option_value(value: Any) -> str:
-    """Render one pipeline option value in MLIR textual-spec form."""
+    """Render one pipeline option value in MLIR textual-spec form.
+
+    >>> format_option_value(True), format_option_value(32)
+    ('true', '32')
+    """
     if isinstance(value, bool):
         return "true" if value else "false"
     return str(value)
@@ -115,7 +119,19 @@ class FunctionPassAdapter(ModulePass):
 
 @dataclass
 class PassManager:
-    """Runs a sequence of module passes, optionally verifying between them."""
+    """Runs a sequence of module passes, optionally verifying between them.
+
+    Usually built from a textual spec via
+    :meth:`repro.ir.pass_registry.PassRegistry.parse`; the description
+    round-trips:
+
+    >>> from repro.ir.pass_registry import PassRegistry
+    >>> manager = PassRegistry.parse("canonicalize,dce")
+    >>> [p.name for p in manager.passes]
+    ['canonicalize', 'dce']
+    >>> manager.pipeline_description()
+    'canonicalize,dce'
+    """
 
     passes: list[ModulePass] = field(default_factory=list)
     verify_each: bool = True

@@ -1,0 +1,2 @@
+"""Developer tooling that is shipped with the package but not part of the
+compilation flow itself (documentation generators, maintenance scripts)."""

@@ -1,0 +1,241 @@
+"""Generate ``docs/passes.md`` from the pass registry.
+
+The pass reference is *derived*, never hand-written: every registered pass
+contributes a section (anchored by its canonical name) with its aliases,
+its docstring summary and the pipeline options it accepts, so the
+document can never drift from the registry.  CI runs ``--check`` and
+fails when the committed file is stale::
+
+    python -m repro.tools.gen_docs          # rewrite docs/passes.md
+    python -m repro.tools.gen_docs --check  # exit 1 when out of date
+
+The option tables are derived too: stencil-lowering sub-passes accept any
+:data:`repro.core.config.PIPELINE_OPTION_ALIASES` override whose
+consuming stage has not already run (``check_override_timing``), and
+ordinary passes expose their constructor keywords.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import inspect
+import sys
+from pathlib import Path
+
+from repro.core.config import CompilerOptions, PIPELINE_OPTION_ALIASES
+from repro.ir.pass_registry import PassRegistry
+from repro.transforms.stencil_hls.context import (
+    _OPTION_CONSUMER_PHASE,
+    _PHASE_HINTS,
+    StencilLoweringPass,
+)
+
+HEADER = """\
+# Pass reference
+
+<!-- GENERATED FILE - DO NOT EDIT.
+     Regenerate with:  python -m repro.tools.gen_docs
+     CI checks this file with:  python -m repro.tools.gen_docs --check -->
+
+All middle-end passes register in `repro.ir.pass_registry.PassRegistry`
+and are scheduled by MLIR-style textual pipeline specs — a comma-separated
+pass list where each entry may carry `{key=value,...}` options:
+
+```
+canonicalize,cse,convert-stencil-to-hls{pack=0},convert-hls-to-llvm
+```
+
+Specs are accepted by `--pass-pipeline` (CLI), `PassRegistry.parse`
+(API) and the named variants in
+`repro.evaluation.harness.PIPELINE_VARIANTS`.  Option keys accept the
+short aliases below or full `CompilerOptions` field names; see the
+[option reference](#compileroptions-pipeline-aliases) at the end.
+"""
+
+
+def _summary(obj: object) -> str:
+    """First docstring paragraph, joined to one line."""
+    doc = inspect.getdoc(obj) or ""
+    first = doc.split("\n\n", 1)[0]
+    return " ".join(first.split())
+
+
+def _alias_table(registry: PassRegistry) -> dict[str, list[str]]:
+    """Canonical name → sorted aliases."""
+    aliases: dict[str, list[str]] = {}
+    for alias, target in registry._aliases.items():
+        aliases.setdefault(target, []).append(alias)
+    return {name: sorted(entries) for name, entries in aliases.items()}
+
+
+def _lowering_option_rows(pass_cls: type[StencilLoweringPass]) -> list[tuple[str, str, str]]:
+    """(alias, field, default) rows legal on one stencil-lowering sub-pass."""
+    defaults = {f.name: f.default for f in dataclasses.fields(CompilerOptions)}
+    rows = []
+    for alias in sorted(PIPELINE_OPTION_ALIASES):
+        field_name = PIPELINE_OPTION_ALIASES[alias]
+        consumer = _OPTION_CONSUMER_PHASE.get(field_name)
+        if consumer is not None and consumer < pass_cls.produces_phase:
+            continue  # an earlier stage already consumed this option
+        rows.append((alias, field_name, repr(defaults[field_name])))
+    return rows
+
+
+def _constructor_option_rows(pass_cls: type) -> list[tuple[str, str, str]]:
+    """(keyword, annotation, default) rows from an ``__init__`` signature."""
+    try:
+        signature = inspect.signature(pass_cls.__init__)
+    except (TypeError, ValueError):
+        return []
+    rows = []
+    for name, parameter in signature.parameters.items():
+        if name in ("self",) or parameter.kind in (
+            inspect.Parameter.VAR_POSITIONAL,
+            inspect.Parameter.VAR_KEYWORD,
+        ):
+            continue
+        annotation = (
+            parameter.annotation
+            if isinstance(parameter.annotation, str)
+            else getattr(parameter.annotation, "__name__", str(parameter.annotation))
+        )
+        if annotation is inspect.Parameter.empty:
+            annotation = ""
+        default = (
+            "" if parameter.default is inspect.Parameter.empty else repr(parameter.default)
+        )
+        rows.append((name, str(annotation), default))
+    return rows
+
+
+def render_pass_reference(registry: PassRegistry | None = None) -> str:
+    """The full markdown pass reference as a string."""
+    registry = registry or PassRegistry.default()
+    aliases = _alias_table(registry)
+    lines = [HEADER]
+
+    lines.append("## Registered passes\n")
+    lines.append("| pass | aliases | summary |")
+    lines.append("|------|---------|---------|")
+    for name in registry.registered_names:
+        factory = registry._factories[name]
+        alias_text = ", ".join(f"`{a}`" for a in aliases.get(name, [])) or "—"
+        lines.append(
+            f"| [`{name}`](#{name}) | {alias_text} | {_summary(factory)} |"
+        )
+    lines.append("")
+
+    for name in registry.registered_names:
+        factory = registry._factories[name]
+        lines.append(f"### `{name}`\n")
+        lines.append(f'<a id="{name}"></a>\n')
+        doc = inspect.getdoc(factory) or ""
+        if doc:
+            lines.append(doc.strip())
+            lines.append("")
+        if aliases.get(name):
+            lines.append(
+                "Aliases: " + ", ".join(f"`{a}`" for a in aliases[name]) + "\n"
+            )
+        if isinstance(factory, type) and issubclass(factory, StencilLoweringPass):
+            phase = _PHASE_HINTS.get(factory.produces_phase, "")
+            if factory.requires_phase != factory.produces_phase:
+                lines.append(
+                    f"Lowering stage: requires phase {factory.requires_phase}, "
+                    f"produces phase {factory.produces_phase}"
+                    + (f" (`{phase}`)." if phase else ".")
+                    + "\n"
+                )
+            rows = _lowering_option_rows(factory)
+            lines.append(
+                "Accepts `CompilerOptions` overrides in braces; options whose "
+                "consuming stage already ran are rejected by "
+                "`check_override_timing`:\n"
+            )
+            lines.append("| option | `CompilerOptions` field | default |")
+            lines.append("|--------|-------------------------|---------|")
+            for alias, field_name, default in rows:
+                lines.append(f"| `{alias}` | `{field_name}` | `{default}` |")
+            lines.append("")
+        else:
+            rows = _constructor_option_rows(factory)
+            if rows:
+                lines.append("| option | type | default |")
+                lines.append("|--------|------|---------|")
+                for key, annotation, default in rows:
+                    annotation_text = f"`{annotation}`" if annotation else "—"
+                    default_text = f"`{default}`" if default else "required"
+                    lines.append(f"| `{key}` | {annotation_text} | {default_text} |")
+                lines.append("")
+            else:
+                lines.append("This pass takes no pipeline options.\n")
+
+    lines.append('## `CompilerOptions` pipeline aliases\n')
+    lines.append('<a id="compileroptions-pipeline-aliases"></a>\n')
+    lines.append(
+        "Short option names accepted in any pipeline spec (full field names "
+        "work too; dashes may replace underscores):\n"
+    )
+    defaults = {f.name: f.default for f in dataclasses.fields(CompilerOptions)}
+    lines.append("| alias | field | default |")
+    lines.append("|-------|-------|---------|")
+    for alias in sorted(PIPELINE_OPTION_ALIASES):
+        field_name = PIPELINE_OPTION_ALIASES[alias]
+        lines.append(f"| `{alias}` | `{field_name}` | `{defaults[field_name]!r}` |")
+    lines.append("")
+    return "\n".join(lines)
+
+
+def default_output_path() -> Path:
+    """``docs/passes.md`` of the source checkout.
+
+    Resolved relative to this file only under the repo's ``src`` layout;
+    from an installed package (site-packages) it falls back to the current
+    working directory, so a stray ``docs/`` is never created next to the
+    installed modules.
+    """
+    package_root = Path(__file__).resolve().parents[2]
+    if package_root.name == "src":
+        return package_root.parent / "docs" / "passes.md"
+    return Path.cwd() / "docs" / "passes.md"
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Generate docs/passes.md from the pass registry"
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="write here instead of docs/passes.md",
+    )
+    parser.add_argument(
+        "--check", action="store_true",
+        help="do not write; exit 1 if the committed file is out of date",
+    )
+    args = parser.parse_args(argv)
+
+    path = Path(args.output) if args.output else default_output_path()
+    rendered = render_pass_reference()
+    if args.check:
+        try:
+            current = path.read_text()
+        except OSError:
+            current = ""
+        if current != rendered:
+            print(
+                f"{path} is out of date; regenerate with "
+                "`python -m repro.tools.gen_docs`",
+                file=sys.stderr,
+            )
+            return 1
+        print(f"{path} is up to date")
+        return 0
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(rendered)
+    print(f"wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,44 @@
+"""The generated pass reference must track the registry exactly."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.ir.pass_registry import PassRegistry
+from repro.tools.gen_docs import (
+    default_output_path,
+    main as gen_docs_main,
+    render_pass_reference,
+)
+
+REPO_DOCS = Path(__file__).resolve().parents[1] / "docs" / "passes.md"
+
+
+def test_committed_passes_md_is_up_to_date():
+    """Mirror of the CI `--check` gate: regenerate and fail on drift so a
+    registry change cannot land without refreshing docs/passes.md."""
+    assert default_output_path() == REPO_DOCS
+    assert REPO_DOCS.read_text() == render_pass_reference(), (
+        "docs/passes.md is stale; run `python -m repro.tools.gen_docs`"
+    )
+
+
+def test_reference_covers_every_registered_pass_with_an_anchor():
+    rendered = render_pass_reference()
+    registry = PassRegistry.default()
+    for name in registry.registered_names:
+        assert f"### `{name}`" in rendered
+        assert f'<a id="{name}"></a>' in rendered
+    # Aliases and the option-alias table are part of the contract too.
+    assert "`stencil-to-hls`" in rendered
+    assert "#compileroptions-pipeline-aliases" in rendered
+    assert "| `ii` | `target_ii` |" in rendered
+
+
+def test_check_mode_detects_drift(tmp_path, capsys):
+    stale = tmp_path / "passes.md"
+    stale.write_text("out of date")
+    assert gen_docs_main(["--check", "--output", str(stale)]) == 1
+    assert gen_docs_main(["--output", str(stale)]) == 0
+    assert gen_docs_main(["--check", "--output", str(stale)]) == 0
+    capsys.readouterr()

@@ -1,0 +1,343 @@
+"""The distributed shard orchestrator: prefix-aware planning, launchers,
+streaming events, resumability manifest and merged-report determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.compile_cache import CompileCache
+from repro.evaluation.harness import (
+    ABLATION_VARIANTS,
+    BenchmarkCase,
+    EvaluationHarness,
+)
+from repro.evaluation.orchestrator import (
+    EXIT_INTERRUPTED,
+    EventWriter,
+    LocalLauncher,
+    case_from_dict,
+    case_to_dict,
+    load_manifest,
+    main as orchestrator_main,
+    orchestrate,
+    order_for_prefix_sharing,
+    pin_cases,
+    plan_matrix,
+    read_events,
+    shared_prefix_depth,
+    split_shards,
+    SubprocessLauncher,
+)
+from repro.evaluation.report import main as report_main
+from repro.evaluation.report import merge_results, results_to_json
+from repro.kernels.grids import PW_ADVECTION_SIZES, ProblemSize
+
+
+def _ablation_cases() -> list[BenchmarkCase]:
+    return EvaluationHarness(repeats=1).cases_for(
+        "pw_advection", ["8M"], frameworks=["Stencil-HMLS"],
+        variants=list(ABLATION_VARIANTS),
+    )
+
+
+class TestCaseSerialisation:
+    def test_round_trip(self):
+        case = BenchmarkCase(
+            "pw_advection", PW_ADVECTION_SIZES["8M"], "Stencil-HMLS", "depth-8"
+        )
+        assert case_from_dict(case_to_dict(case)) == case
+
+    def test_custom_problem_size_survives(self):
+        case = BenchmarkCase("pw_advection", ProblemSize("3M", (768, 64, 64)))
+        restored = case_from_dict(json.loads(json.dumps(case_to_dict(case))))
+        assert restored.size.shape == (768, 64, 64)
+        assert restored.framework is None
+
+
+class TestPrefixScheduling:
+    def test_shared_prefix_depth_of_ablation_family(self):
+        cases = {c.variant: c for c in _ablation_cases()}
+        # depth-8 / depth-64 toggle the 5th pass: 4 shared upstream passes.
+        assert shared_prefix_depth(cases["depth-8"], cases["depth-64"]) == 4
+        # ii-* toggles the 3rd pass: only canonicalize + shape-inference shared.
+        assert shared_prefix_depth(cases["ii-2"], cases["ii-4"]) == 2
+        # Different modules never share prefix artefacts.
+        other = BenchmarkCase(
+            "pw_advection", PW_ADVECTION_SIZES["32M"], "Stencil-HMLS", "depth-8"
+        )
+        assert shared_prefix_depth(cases["depth-8"], other) == 0
+
+    def test_prefix_order_clusters_families(self):
+        ordered = order_for_prefix_sharing(_ablation_cases())
+        variants = [case.variant for case in ordered]
+        # Same-pass toggles end up adjacent.
+        assert abs(variants.index("depth-8") - variants.index("depth-64")) == 1
+        assert abs(variants.index("ii-2") - variants.index("ii-4")) == 1
+        assert abs(variants.index("width-256") - variants.index("width-1024")) == 1
+
+    def test_split_shards_partitions_exactly(self):
+        cases = order_for_prefix_sharing(_ablation_cases())
+        for count in (1, 2, 3, len(cases), len(cases) + 2):
+            shards = split_shards(cases, count)
+            assert len(shards) == count
+            flattened = [case for shard in shards for case in shard]
+            assert flattened == cases  # contiguous, nothing lost or reordered
+
+    def test_split_shards_rejects_bad_count(self):
+        with pytest.raises(ValueError):
+            split_shards([], 0)
+
+    def test_split_shards_survives_tail_affinity_cliff(self):
+        """Regression: a low-affinity cut at the tail used to starve later
+        boundaries of candidates (min() over an empty list) when shard
+        count approached the case count."""
+        harness = EvaluationHarness(repeats=1)
+        cases = harness.cases_for(
+            "pw_advection", ["8M"], frameworks=["Stencil-HMLS"],
+            variants=["staged", "depth-8", "depth-64"],
+        ) + harness.cases_for(
+            "tracer_advection", ["8M"], frameworks=["Stencil-HMLS"]
+        )
+        ordered = order_for_prefix_sharing(cases)
+        shards = split_shards(ordered, 3)
+        assert [case for shard in shards for case in shard] == ordered
+        assert all(shard for shard in shards)  # no shard starved empty
+
+    def test_plan_matrix_orders(self):
+        prefix_plan = plan_matrix(
+            _ablation_cases(), shards=2, order="prefix"
+        )
+        case_plan = plan_matrix(_ablation_cases(), shards=2, order="case")
+        assert prefix_plan.planned_cases == case_plan.planned_cases == len(
+            ABLATION_VARIANTS
+        )
+        predicted_prefix = sum(s.prefix_reuse_depth for s in prefix_plan.shards)
+        predicted_case = sum(s.prefix_reuse_depth for s in case_plan.shards)
+        assert predicted_prefix > predicted_case
+        with pytest.raises(ValueError):
+            plan_matrix(_ablation_cases(), order="zigzag")
+
+    def test_describe_names_every_case(self):
+        plan = plan_matrix(_ablation_cases(), shards=2)
+        text = plan.describe()
+        assert "predicted prefix reuse" in text
+        for variant in ABLATION_VARIANTS:
+            assert f"@{variant}" in text
+
+
+def _prefix_cache_hits(shards: list[list[BenchmarkCase]]) -> int:
+    """Evaluate each shard with its own fresh in-memory cache; total the
+    pass-prefix stage hits (chain sidecar reads + artefact restores)."""
+    hits = 0
+    for shard in shards:
+        if not shard:
+            continue
+        cache = CompileCache()
+        harness = EvaluationHarness(repeats=1, cache=cache)
+        harness.run_matrix(cases=shard)
+        hits += cache.stats.hits.get("pass-prefix-hash", 0)
+        hits += cache.stats.hits.get("pass-prefix", 0)
+    return hits
+
+
+def test_prefix_order_beats_case_major_on_prefix_hits():
+    """The acceptance criterion: on the staged ablation axis, prefix-aware
+    ordering yields strictly more pass-prefix cache hits than legacy
+    case-major (strided) ordering, measured on the real cache counters."""
+    variants = ["staged", "ii-2", "depth-8", "depth-64"]
+    cases = EvaluationHarness(repeats=1).cases_for(
+        "pw_advection", ["8M"], frameworks=["Stencil-HMLS"], variants=variants
+    )
+    prefix_plan = plan_matrix(cases, shards=2, order="prefix")
+    case_plan = plan_matrix(cases, shards=2, order="case")
+    prefix_hits = _prefix_cache_hits([s.cases for s in prefix_plan.shards])
+    case_hits = _prefix_cache_hits([s.cases for s in case_plan.shards])
+    assert prefix_hits > case_hits
+
+
+class TestEventChannel:
+    def test_writer_and_reader_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        events = EventWriter(path)
+        events.emit("plan", shards=2)
+        events.emit("case_finished", label="x", cached=False)
+        records = read_events(path)
+        assert [r["event"] for r in records] == ["plan", "case_finished"]
+        assert records[0]["shards"] == 2
+
+    def test_run_matrix_on_result_streams_cached_flag(self, tmp_path):
+        cases = [
+            BenchmarkCase("pw_advection", PW_ADVECTION_SIZES["8M"], "Vitis HLS"),
+            BenchmarkCase("pw_advection", PW_ADVECTION_SIZES["8M"], "DaCe"),
+        ]
+        cache = CompileCache(tmp_path)
+        seen: list[tuple[str, bool]] = []
+        harness = EvaluationHarness(repeats=1, cache=cache)
+        harness.run_matrix(
+            cases=cases,
+            on_result=lambda case, fw, result, cached: seen.append((fw, cached)),
+        )
+        assert seen == [("Vitis HLS", False), ("DaCe", False)]
+        seen.clear()
+        warm = EvaluationHarness(repeats=1, cache=CompileCache(tmp_path))
+        warm.run_matrix(
+            cases=cases,
+            on_result=lambda case, fw, result, cached: seen.append((fw, cached)),
+        )
+        assert seen == [("Vitis HLS", True), ("DaCe", True)]
+
+    def test_report_cli_stream_emits_jsonl(self, capsys):
+        code = report_main(
+            ["--quick", "--repeats", "1", "--shard", "1/2", "--stream"]
+        )
+        assert code == 0
+        lines = [
+            json.loads(line)
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("{")
+        ]
+        finished = [l for l in lines if l.get("event") == "case_finished"]
+        assert finished and all("label" in l for l in finished)
+
+
+class TestOrchestrateEndToEnd:
+    def _quick_cases(self):
+        return EvaluationHarness(repeats=1).cases_for(sizes=["8M"])
+
+    def test_merged_report_matches_single_process_run(self, tmp_path):
+        plan = plan_matrix(self._quick_cases(), shards=2)
+        code, merged = orchestrate(
+            plan,
+            state_dir=tmp_path / "state",
+            launcher=LocalLauncher(),
+            output=tmp_path / "merged.json",
+        )
+        assert code == 0
+        serial = EvaluationHarness(repeats=1).run_matrix(cases=self._quick_cases())
+        serial_entries = json.loads(results_to_json(serial, deterministic=True))
+        expected = json.dumps(
+            merge_results(serial_entries), indent=2, sort_keys=True
+        )
+        assert (tmp_path / "merged.json").read_text() == expected
+
+    def test_interrupt_and_resume_recompiles_nothing(self, tmp_path):
+        state = tmp_path / "state"
+        cases = self._quick_cases()
+        plan = plan_matrix(cases, shards=2)
+        events = EventWriter(tmp_path / "events1.jsonl")
+        code, _ = orchestrate(
+            plan,
+            state_dir=state,
+            launcher=LocalLauncher(),
+            max_cases_per_shard=1,
+            events=events,
+        )
+        assert code == EXIT_INTERRUPTED
+        manifest = load_manifest(state)
+        assert len(manifest) == 2  # one completed case per shard
+
+        resume_plan = plan_matrix(cases, shards=2, completed=manifest)
+        assert len(resume_plan.resumed) == 2
+        assert resume_plan.planned_cases == plan.planned_cases - 2
+
+        events2 = EventWriter(tmp_path / "events2.jsonl")
+        code, merged = orchestrate(
+            resume_plan,
+            state_dir=state,
+            launcher=LocalLauncher(),
+            events=events2,
+            output=tmp_path / "merged.json",
+        )
+        assert code == 0
+        finished = [
+            e for e in read_events(tmp_path / "events2.jsonl")
+            if e.get("event") == "case_finished"
+        ]
+        # Zero recompiles: every case run 1 completed stayed untouched in
+        # run 2 (digests disjoint), and run 2 ran exactly the remainder.
+        assert not ({e["digest"] for e in finished} & set(manifest))
+        assert len(finished) == resume_plan.planned_cases
+        # The merged report covers the *full* matrix despite the partial runs.
+        assert len(merged) == plan.planned_cases
+
+    def test_merged_report_excludes_other_sweeps_in_same_state_dir(self, tmp_path):
+        """Regression: the merge used to include *every* manifest entry, so
+        a narrower re-run against a shared state dir leaked results of the
+        earlier, wider sweep into its report."""
+        state = tmp_path / "state"
+        wide = plan_matrix(self._quick_cases(), shards=2)
+        orchestrate(wide, state_dir=state, launcher=LocalLauncher())
+        narrow_cases = EvaluationHarness(repeats=1).cases_for(
+            "pw_advection", ["8M"]
+        )
+        narrow = plan_matrix(
+            narrow_cases, shards=2, completed=load_manifest(state)
+        )
+        code, merged = orchestrate(
+            narrow, state_dir=state, launcher=LocalLauncher()
+        )
+        assert code == 0
+        assert {entry["kernel"] for entry in merged} == {"pw_advection"}
+        assert len(merged) == len(pin_cases(narrow_cases))
+
+    def test_cli_dry_run(self, tmp_path, capsys):
+        code = orchestrator_main(
+            ["--dry-run", "--quick", "--shards", "2",
+             "--kernels", "pw_advection", "--variants", "staged", "depth-8",
+             "--state-dir", str(tmp_path / "state")]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "orchestration plan" in out and "@staged" in out
+
+    def test_subprocess_launcher_worker_round_trip(self, tmp_path):
+        """The --run-shard worker entry point, driven through the real
+        SubprocessLauncher (spec file → spawned process → events/manifest
+        /results artefacts), on two cheap baseline cases."""
+        cases = [
+            BenchmarkCase("pw_advection", PW_ADVECTION_SIZES["8M"], "Vitis HLS"),
+            BenchmarkCase("pw_advection", PW_ADVECTION_SIZES["8M"], "DaCe"),
+        ]
+        plan = plan_matrix(cases, shards=1)
+        code, merged = orchestrate(
+            plan,
+            state_dir=tmp_path / "state",
+            launcher=SubprocessLauncher(),
+            output=tmp_path / "merged.json",
+        )
+        assert code == 0
+        assert {entry["framework"] for entry in merged} == {"Vitis HLS", "DaCe"}
+        events = read_events(tmp_path / "state" / "events-shard1.jsonl")
+        assert [e["event"] for e in events] == [
+            "shard_started", "case_finished", "case_finished", "shard_finished",
+        ]
+        assert len(load_manifest(tmp_path / "state")) == 2
+
+    def test_crashed_worker_is_not_reported_as_resumable(self, tmp_path):
+        """A worker that dies (vs. one stopped by --max-cases-per-shard)
+        must surface as a hard failure (exit 1), not EXIT_INTERRUPTED."""
+
+        class CrashingLauncher(LocalLauncher):
+            def wait(self, poll=None):
+                return [1 for _ in self._specs]  # died before recording anything
+
+        plan = plan_matrix(
+            [BenchmarkCase("pw_advection", PW_ADVECTION_SIZES["8M"], "DaCe")],
+            shards=1,
+        )
+        code, merged = orchestrate(
+            plan, state_dir=tmp_path / "state", launcher=CrashingLauncher()
+        )
+        assert code == 1
+        assert merged == []
+
+
+class TestManifest:
+    def test_load_manifest_ignores_garbage_lines(self, tmp_path):
+        path = tmp_path / "manifest-shard1.jsonl"
+        good = {"digest": "d1", "result": {"kernel": "pw"}}
+        path.write_text(json.dumps(good) + "\nnot json\n" + json.dumps({"no": 1}) + "\n")
+        manifest = load_manifest(tmp_path)
+        assert set(manifest) == {"d1"}
