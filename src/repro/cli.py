@@ -51,6 +51,10 @@ def main_compile(argv: list[str] | None = None) -> int:
                         help="print per-pass statistics (and cache hit/miss counts)")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="content-addressed compile cache directory")
+    parser.add_argument("--remote-cache-dir", default=None, metavar="DIR",
+                        help="shared network cache tier behind --cache-dir "
+                        "(an NFS/sshfs-mounted path): read-through on miss, "
+                        "written back on store")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir and recompile from scratch")
     parser.add_argument("--cache-max-bytes", type=int, default=None, metavar="BYTES",
@@ -73,10 +77,11 @@ def main_compile(argv: list[str] | None = None) -> int:
     )
     device = device_by_name(args.device)
     cache = None
-    if args.cache_dir and not args.no_cache:
-        cache = CompileCache(args.cache_dir)
-    if args.cache_max_bytes is not None and cache is None:
-        parser.error("--cache-max-bytes needs an active cache (--cache-dir without --no-cache)")
+    if (args.cache_dir or args.remote_cache_dir) and not args.no_cache:
+        cache = CompileCache(args.cache_dir, remote_dir=args.remote_cache_dir)
+    if args.cache_max_bytes is not None and (cache is None or cache.cache_dir is None):
+        parser.error("--cache-max-bytes needs an active local cache "
+                     "(--cache-dir without --no-cache)")
     compiler = StencilHMLSCompiler(options, device, pass_pipeline=args.pass_pipeline, cache=cache)
     module = builder(shape)
     try:

@@ -13,11 +13,19 @@ compiler can reuse per-stage artefacts independently:
 * ``synthesis``   — the device-specific :class:`KernelDesign`
 * ``result``      — a whole evaluation-harness :class:`FrameworkResult`
 
-The cache is two-tier: a per-process in-memory store (values are held as
-objects; callers clone mutable IR on the way in/out) and an optional
+The cache is tiered: a per-process in-memory store (values are held as
+objects; callers clone mutable IR on the way in/out), an optional
 on-disk tier under ``cache_dir`` (pickled, written atomically so parallel
-evaluation workers can share one directory).  Hit/miss/store counts are
-recorded per stage and surfaced by ``--timing`` / the bench CLI.
+evaluation workers can share one directory), and an optional *shared
+network tier* under ``remote_dir`` — any filesystem path several machines
+can mount (NFS, sshfs, a synced directory).  The remote tier is
+read-through/write-back: a local miss that hits the remote tier copies
+the artefact into the local tier, and fresh local stores are published
+back with the same atomic temp-file-then-rename protocol, so concurrent
+writers on different machines never observe torn entries.  Keys are
+content hashes, so cross-machine and cross-user dedup needs no
+coordination at all.  Hit/miss/store counts are recorded per stage and
+surfaced by ``--timing`` / the bench CLI.
 """
 
 from __future__ import annotations
@@ -116,6 +124,10 @@ class CacheStats:
     evicted_bytes: int = 0
     #: On-disk footprint after the most recent ``gc``/``disk_bytes`` scan.
     disk_bytes: int = 0
+    #: Shared-network-tier traffic: local misses served by ``remote_dir``
+    #: (each also counts as a stage hit) and artefacts published back.
+    remote_hits: int = 0
+    remote_stores: int = 0
 
     @property
     def total_hits(self) -> int:
@@ -134,6 +146,8 @@ class CacheStats:
             "evicted_entries": self.evicted_entries,
             "evicted_bytes": self.evicted_bytes,
             "disk_bytes": self.disk_bytes,
+            "remote_hits": self.remote_hits,
+            "remote_stores": self.remote_stores,
             "stages": {
                 stage: {
                     "hits": self.hits.get(stage, 0),
@@ -157,11 +171,17 @@ class CacheStats:
                 f" (evicted {self.evicted_entries} entries"
                 f" / {self.evicted_bytes} bytes)"
             )
+        if self.remote_hits or self.remote_stores:
+            lines.append(
+                f"  remote tier: {self.remote_hits} hits,"
+                f" {self.remote_stores} stores"
+            )
         return lines
 
 
 class CompileCache:
-    """Two-tier (memory + optional disk) content-addressed artefact store.
+    """Tiered (memory + optional disk + optional network) content-addressed
+    artefact store.
 
     >>> cache = CompileCache()                       # memory-only tier
     >>> key = CacheKey(module_hash="abc", pipeline="canonicalize")
@@ -174,11 +194,20 @@ class CompileCache:
     (1, 1)
 
     Pass ``cache_dir`` to add the on-disk tier (pickled, written
-    atomically, safe to share between parallel evaluation workers).
+    atomically, safe to share between parallel evaluation workers) and
+    ``remote_dir`` to add the shared network tier behind it (a mounted
+    NFS/sshfs path; read-through on miss, write-back on store, same
+    atomic-rename publishing — so warm artefacts dedup across machines).
     """
 
-    def __init__(self, cache_dir: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        cache_dir: str | Path | None = None,
+        *,
+        remote_dir: str | Path | None = None,
+    ) -> None:
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.remote_dir = Path(remote_dir) if remote_dir is not None else None
         self._memory: dict[str, Any] = {}
         self.stats = CacheStats()
 
@@ -187,6 +216,10 @@ class CompileCache:
     def _path(self, digest: str) -> Path:
         assert self.cache_dir is not None
         return self.cache_dir / digest[:2] / f"{digest}.pkl"
+
+    def _remote_path(self, digest: str) -> Path:
+        assert self.remote_dir is not None
+        return self.remote_dir / digest[:2] / f"{digest}.pkl"
 
     # -- pickle helpers -------------------------------------------------------
 
@@ -220,7 +253,9 @@ class CompileCache:
         """Look up one stage artefact; ``None`` means miss.
 
         ``rehydrate`` post-processes the stored value (e.g. cloning cached
-        IR modules so callers can mutate their copy freely).
+        IR modules so callers can mutate their copy freely).  Lookup order
+        is memory → local disk → shared remote tier; a remote hit is
+        copied read-through into the local tiers.
         """
         digest = key.digest(stage)
         value: Any | None = None
@@ -236,12 +271,21 @@ class CompileCache:
                     self.stats.errors += 1
                     del self._memory[digest]
                     value = None
-        elif self.cache_dir is not None:
-            path = self._path(digest)
-            try:
-                blob = path.read_bytes()
-            except OSError:
-                blob = None
+        else:
+            blob: bytes | None = None
+            tier = None
+            if self.cache_dir is not None:
+                try:
+                    blob = self._path(digest).read_bytes()
+                    tier = "disk"
+                except OSError:
+                    blob = None
+            if blob is None and self.remote_dir is not None:
+                try:
+                    blob = self._remote_path(digest).read_bytes()
+                    tier = "remote"
+                except OSError:
+                    blob = None
             if blob is not None:
                 try:
                     value = self._loads(blob)
@@ -250,6 +294,22 @@ class CompileCache:
                     # A truncated/stale/unreadable entry is a miss, not a crash.
                     self.stats.errors += 1
                     value = None
+                else:
+                    if tier == "disk":
+                        # Refresh mtime so gc()'s LRU sees *use* recency,
+                        # not just store recency — hot entries must outlive
+                        # cold one-offs in long-lived shared directories.
+                        try:
+                            os.utime(self._path(digest))
+                        except OSError:
+                            pass
+                    else:
+                        self.stats.remote_hits += 1
+                        if self.cache_dir is not None:
+                            # Read-through: future lookups (and gc
+                            # accounting) are served locally, with a
+                            # fresh mtime.
+                            self._write_atomic(self._path(digest), blob)
         if value is None:
             self.stats.misses[stage] += 1
             return None
@@ -262,7 +322,9 @@ class CompileCache:
         With ``isolate=True`` the cache serialises ``value`` once and keeps
         the *bytes* in the memory tier (deserialised lazily on first hit;
         the same bytes go to disk), so callers may keep mutating the live
-        object after the call without re-pickling it themselves.
+        object after the call without re-pickling it themselves.  A store
+        lands in every configured tier: memory, local disk and — written
+        back with the same atomic rename — the shared remote directory.
         """
         digest = key.digest(stage)
         blob: bytes | None = None
@@ -276,9 +338,8 @@ class CompileCache:
             value = _LazyBlob(blob)
         self._memory[digest] = value
         self.stats.stores[stage] += 1
-        if self.cache_dir is None:
+        if self.cache_dir is None and self.remote_dir is None:
             return
-        path = self._path(digest)
         if blob is None:
             try:
                 blob = self._dumps(value)
@@ -286,13 +347,24 @@ class CompileCache:
                 # Unpicklable artefacts stay memory-tier only.
                 self.stats.errors += 1
                 return
+        if self.cache_dir is not None:
+            self._write_atomic(self._path(digest), blob)
+        if self.remote_dir is not None and self._write_atomic(
+            self._remote_path(digest), blob
+        ):
+            self.stats.remote_stores += 1
+
+    def _write_atomic(self, path: Path, blob: bytes) -> bool:
+        """Publish ``blob`` at ``path`` via temp-file + same-directory
+        rename (atomic on POSIX filesystems, including NFS mounts), so
+        parallel writers on any machine never observe a torn entry."""
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as handle:
                     handle.write(blob)
-                os.replace(tmp_name, path)  # atomic: parallel writers never clash
+                os.replace(tmp_name, path)
             except BaseException:
                 try:
                     os.unlink(tmp_name)
@@ -301,6 +373,8 @@ class CompileCache:
                 raise
         except OSError:
             self.stats.errors += 1
+            return False
+        return True
 
     # -- maintenance ----------------------------------------------------------
 
@@ -328,11 +402,13 @@ class CompileCache:
     def gc(self, max_bytes: int) -> int:
         """Evict least-recently-used disk entries until ≤ ``max_bytes`` remain.
 
-        LRU is approximated by file mtime: hits re-load entries but do not
-        rewrite them, so mtime tracks *store* recency — good enough for the
-        long-lived shared cache directories the evaluation matrix uses.
-        Returns the number of evicted entries; the memory tier is left
-        untouched (it dies with the process anyway).
+        LRU is approximated by file mtime, which :meth:`get` refreshes on
+        every disk-tier hit (best-effort) — so a hot, constantly-reused
+        artefact outlives a cold one-off store even in long-lived shared
+        cache directories.  Returns the number of evicted entries; the
+        memory tier is left untouched (it dies with the process anyway)
+        and the shared remote tier is never evicted from here (each
+        machine gc's only its own local tier).
         """
         if max_bytes < 0:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")

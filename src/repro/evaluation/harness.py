@@ -257,10 +257,15 @@ def _run_case_payload(payload: dict[str, Any]) -> dict[str, Any]:
     recompile everything prefix-aware scheduling set up to share.
     """
     cache_dir = payload.get("cache_dir")
+    remote_cache_dir = payload.get("remote_cache_dir")
     harness = EvaluationHarness(
         device=device_by_name(payload["device"]),
         repeats=payload["repeats"],
-        cache=CompileCache(cache_dir) if cache_dir else None,
+        cache=(
+            CompileCache(cache_dir, remote_dir=remote_cache_dir)
+            if cache_dir or remote_cache_dir
+            else None
+        ),
     )
     case = BenchmarkCase(
         kernel=payload["kernel"],
@@ -492,6 +497,11 @@ class EvaluationHarness:
                     "cache_dir": (
                         str(self.cache.cache_dir)
                         if self.cache is not None and self.cache.cache_dir is not None
+                        else None
+                    ),
+                    "remote_cache_dir": (
+                        str(self.cache.remote_dir)
+                        if self.cache is not None and self.cache.remote_dir is not None
                         else None
                     ),
                 }

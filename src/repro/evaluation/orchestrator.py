@@ -19,8 +19,21 @@ The pieces, in pipeline order:
   artefact cache can actually reuse them).
 * **Launching** — :class:`LocalLauncher` runs shards in-process (tests,
   single machines); :class:`SubprocessLauncher` spawns one
-  ``--run-shard`` worker process per shard.  ``--dry-run`` prints the
-  plan (with the predicted prefix-reuse depth per shard) and exits.
+  ``--run-shard`` worker process per shard; :class:`RemoteLauncher` fans
+  the same worker argv out over a machine list through a command
+  template (``ssh {host} -- {argv}`` being the canonical instance).
+  Process-based launchers capture each worker's stdout/stderr into
+  ``state_dir/shard<i>.log``.  ``--dry-run`` prints the plan (with the
+  predicted prefix-reuse depth per shard) and exits.
+* **Fault tolerance** — the fleet loop (:func:`run_fleet`, driven by
+  :func:`orchestrate`) retries dead workers with backoff, kills
+  stragglers that stop making manifest progress for
+  ``--straggler-timeout`` seconds, and *work-steals*: the unfinished
+  cases of a dead or straggling shard — computed from the resumability
+  manifests' result-stage :class:`CacheKey` digests — are re-queued as
+  fresh shards on the surviving capacity, so a ``kill -9`` mid-sweep
+  still converges to a merged report byte-identical to a serial run,
+  with zero recompiles of already-manifested cases.
 * **Streaming** — every shard appends ``case_finished`` events to its own
   ``events-shard<i>.jsonl``; the orchestrator tails those files while the
   pool runs and forwards them to its own event sink (``--events`` /
@@ -49,6 +62,8 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import shlex
+import signal
 import subprocess
 import sys
 import time
@@ -389,7 +404,9 @@ class EventWriter:
 
     def emit(self, event: str, **payload: Any) -> dict[str, Any]:
         record = {"event": event, **payload}
-        line = json.dumps(record, sort_keys=True)
+        # UTF-8 JSONL: non-ASCII kernel/variant names stream as themselves
+        # (the forwarder tails in binary and counts byte offsets).
+        line = json.dumps(record, sort_keys=True, ensure_ascii=False)
         if self._path is not None:
             with self._path.open("a") as handle:
                 handle.write(line + "\n")
@@ -421,31 +438,45 @@ def read_events(path: str | Path) -> list[dict[str, Any]]:
 
 
 class _EventForwarder:
-    """Incrementally tail shard event files into the orchestrator's sink."""
+    """Incrementally tail shard event files into the orchestrator's sink.
+
+    Files are read in *binary* and offsets advanced in *bytes*: a
+    text-mode tail that seeks byte offsets but advances by ``len(line)``
+    in characters desyncs on the first non-ASCII kernel/variant name and
+    corrupts or drops every later event.
+    """
 
     def __init__(self, paths: Sequence[Path], sink: EventWriter) -> None:
         self.paths = list(paths)
         self.sink = sink
         self._offsets = {path: 0 for path in self.paths}
 
+    def add_path(self, path: Path) -> None:
+        """Start tailing another event file (a re-queued shard's stream)."""
+        if path not in self._offsets:
+            self.paths.append(path)
+            self._offsets[path] = 0
+
     def poll(self) -> int:
         forwarded = 0
         for path in self.paths:
             try:
-                with path.open() as handle:
+                with path.open("rb") as handle:
                     handle.seek(self._offsets[path])
                     chunk = handle.read()
             except OSError:
                 continue
             if not chunk:
                 continue
-            lines = chunk.splitlines(keepends=True)
             consumed = 0
-            for line in lines:
-                if not line.endswith("\n"):
+            for line in chunk.splitlines(keepends=True):
+                if not line.endswith(b"\n"):
                     break  # incomplete trailing write; re-read next poll
                 consumed += len(line)
-                text = line.strip()
+                try:
+                    text = line.decode("utf-8").strip()
+                except UnicodeDecodeError:
+                    continue  # a corrupt line; skip it but keep the offset honest
                 if text:
                     try:
                         record = json.loads(text)
@@ -489,6 +520,7 @@ def shard_spec(
     repeats: int = 1,
     jobs: int = 1,
     cache_dir: str | None = None,
+    remote_cache_dir: str | None = None,
     cache_max_bytes: int | None = None,
     max_cases: int | None = None,
 ) -> dict[str, Any]:
@@ -500,6 +532,7 @@ def shard_spec(
         "repeats": repeats,
         "jobs": jobs,
         "cache_dir": cache_dir,
+        "remote_cache_dir": remote_cache_dir,
         "cache_max_bytes": cache_max_bytes,
         "max_cases": max_cases,
         "state_dir": str(state_dir),
@@ -519,12 +552,17 @@ def run_shard_spec(spec: dict[str, Any]) -> int:
     shard_index = spec["shard"]
     cases = [case_from_dict(entry) for entry in spec["cases"]]
     max_cases = spec.get("max_cases")
+    chaos_kill_after = spec.get("chaos_kill_after")
     interrupted = False
     if max_cases is not None and len(cases) > max_cases:
         cases = cases[:max_cases]
         interrupted = True
 
-    cache = CompileCache(spec["cache_dir"]) if spec.get("cache_dir") else None
+    cache = None
+    if spec.get("cache_dir") or spec.get("remote_cache_dir"):
+        cache = CompileCache(
+            spec.get("cache_dir"), remote_dir=spec.get("remote_cache_dir")
+        )
     harness = EvaluationHarness(
         device=device_by_name(spec["device"]),
         repeats=spec["repeats"],
@@ -567,6 +605,13 @@ def run_shard_spec(spec: dict[str, Any]) -> int:
             digest=entry["digest"],
             index=finished,
         )
+        if chaos_kill_after is not None and finished >= chaos_kill_after:
+            # Fault injection (tests/CI): die like a real `kill -9` would —
+            # manifest written, results file never produced, no cleanup.
+            # Deterministic because the *worker* pulls the trigger, not a
+            # racing poll loop in the orchestrator.
+            events.emit("chaos_kill", shard=shard_index, after_cases=finished)
+            os.kill(os.getpid(), signal.SIGKILL)
 
     results = harness.run_matrix(cases=cases, on_result=on_result)
     results_to_json(results, spec["results"], deterministic=True)
@@ -587,18 +632,46 @@ def run_shard_spec(spec: dict[str, Any]) -> int:
 # ---------------------------------------------------------------------------
 
 
+@dataclass
+class ShardHandle:
+    """One in-flight shard worker, as the fleet loop sees it."""
+
+    spec: dict[str, Any]
+    #: 1-based attempt number of this shard lineage (retries increment it).
+    attempt: int = 1
+    host: str | None = None
+    proc: subprocess.Popen | None = None
+    #: Synchronous launchers record the exit code directly.
+    code: int | None = None
+    log_path: Path | None = None
+    _log_handle: Any = None
+
+
 class ShardLauncher:
-    """Fans shard jobs out to workers.  ``launch`` starts every shard;
-    ``wait`` blocks until they all exited, invoking ``poll`` (the event
-    forwarder) in between, and returns the per-shard exit codes."""
+    """Fans shard jobs out to workers, one at a time.
+
+    ``start`` launches one shard and returns a :class:`ShardHandle`;
+    ``poll_shard`` reports its exit code (``None`` while running);
+    ``kill`` SIGKILLs it (straggler replacement / chaos injection).  The
+    fleet loop (:func:`run_fleet`) drives these to implement retry,
+    straggler detection and work-stealing uniformly over every backend.
+    """
 
     name = "abstract"
 
-    def launch(self, specs: list[dict[str, Any]]) -> None:
+    def start(self, spec: dict[str, Any]) -> ShardHandle:
         raise NotImplementedError
 
-    def wait(self, poll: Callable[[], int] | None = None) -> list[int]:
+    def poll_shard(self, handle: ShardHandle) -> int | None:
         raise NotImplementedError
+
+    def kill(self, handle: ShardHandle) -> None:
+        raise NotImplementedError
+
+    def capacity(self) -> int | None:
+        """Concurrent-worker capacity (``None`` = unbounded); the fleet
+        splits stolen work over the idle share of this."""
+        return None
 
 
 class LocalLauncher(ShardLauncher):
@@ -606,70 +679,401 @@ class LocalLauncher(ShardLauncher):
 
     Deterministic and dependency-free: the backend for tests, dry runs
     and single-machine sweeps where per-shard ``--jobs`` already provides
-    the parallelism.
+    the parallelism.  ``start`` is synchronous, so local shards can never
+    straggle and cannot be chaos-killed.
     """
 
     name = "local"
 
-    def __init__(self) -> None:
-        self._codes: list[int] = []
-        self._specs: list[dict[str, Any]] = []
+    def start(self, spec: dict[str, Any]) -> ShardHandle:
+        return ShardHandle(spec=spec, code=run_shard_spec(spec))
 
-    def launch(self, specs: list[dict[str, Any]]) -> None:
-        self._specs = specs
+    def poll_shard(self, handle: ShardHandle) -> int | None:
+        return handle.code
 
-    def wait(self, poll: Callable[[], int] | None = None) -> list[int]:
-        self._codes = []
-        for spec in self._specs:
-            self._codes.append(run_shard_spec(spec))
-            if poll is not None:
-                poll()
-        return self._codes
+    def kill(self, handle: ShardHandle) -> None:
+        pass  # already finished by the time anyone could ask
+
+    def capacity(self) -> int | None:
+        return 1
 
 
-class SubprocessLauncher(ShardLauncher):
-    """One ``python -m repro.evaluation.orchestrator --run-shard`` process
-    per shard — the machine-list backend's local degenerate case (a remote
-    backend only needs to prefix the same argv with ``ssh host``)."""
+class CommandLauncher(ShardLauncher):
+    """Launch each shard worker as a *command* rendered from a template.
 
-    name = "subprocess"
+    The template is a shell-style string containing the placeholders
+    ``{argv}`` (the worker command line, ``python -m
+    repro.evaluation.orchestrator --run-shard <spec.json>``) and
+    optionally ``{host}``.  ``"{argv}"`` runs the worker locally;
+    ``"ssh {host} -- {argv}"`` runs it on a machine list (see
+    :class:`RemoteLauncher`).  Worker stdout/stderr are captured to
+    ``state_dir/shard<i>.log`` so a crashed worker always leaves a trace
+    the orchestrator can quote.
+    """
+
+    name = "command"
+    template = "{argv}"
 
     def __init__(self, python: str | None = None) -> None:
         self.python = python or sys.executable
-        self._procs: list[subprocess.Popen] = []
 
-    def launch(self, specs: list[dict[str, Any]]) -> None:
+    # -- template rendering ---------------------------------------------------
+
+    def _worker_argv(self, spec_path: Path) -> list[str]:
+        return [
+            self.python, "-m", "repro.evaluation.orchestrator",
+            "--run-shard", str(spec_path),
+        ]
+
+    def command_for(self, spec_path: Path, host: str | None) -> list[str]:
+        argv = self._worker_argv(spec_path)
+        rendered: list[str] = []
+        for token in shlex.split(self.template):
+            if token == "{argv}":
+                rendered.extend(argv)
+            else:
+                token = token.replace("{host}", host or "")
+                if "{argv}" in token:
+                    token = token.replace("{argv}", shlex.join(argv))
+                rendered.append(token)
+        return rendered
+
+    # -- host selection (machine-list backends override) ----------------------
+
+    def pick_host(self) -> str | None:
+        return None
+
+    def release_host(self, host: str | None) -> None:
+        pass
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def _environment(self) -> dict[str, str]:
         env = dict(os.environ)
-        # Workers must import repro exactly as this process does.
+        # Workers must import repro exactly as this process does.  (Over
+        # ssh the template must provide the remote environment instead.)
         src_dir = str(Path(__file__).resolve().parents[2])
         parts = [src_dir] + [p for p in env.get("PYTHONPATH", "").split(os.pathsep) if p]
         env["PYTHONPATH"] = os.pathsep.join(dict.fromkeys(parts))
-        self._procs = []
-        for spec in specs:
-            spec_path = Path(spec["state_dir"]) / f"shard{spec['shard']}.json"
-            spec_path.write_text(json.dumps(spec, indent=2, sort_keys=True))
-            self._procs.append(
-                subprocess.Popen(
-                    [self.python, "-m", "repro.evaluation.orchestrator",
-                     "--run-shard", str(spec_path)],
-                    env=env,
-                )
-            )
+        return env
 
-    def wait(self, poll: Callable[[], int] | None = None) -> list[int]:
-        while any(proc.poll() is None for proc in self._procs):
-            if poll is not None:
-                poll()
-            time.sleep(0.05)
-        if poll is not None:
-            poll()
-        return [proc.returncode for proc in self._procs]
+    def start(self, spec: dict[str, Any]) -> ShardHandle:
+        state_dir = Path(spec["state_dir"])
+        spec_path = state_dir / f"shard{spec['shard']}.json"
+        spec_path.write_text(json.dumps(spec, indent=2, sort_keys=True))
+        host = self.pick_host()
+        log_path = state_dir / f"shard{spec['shard']}.log"
+        log_handle = log_path.open("ab")
+        proc = subprocess.Popen(
+            self.command_for(spec_path, host),
+            env=self._environment(),
+            stdout=log_handle,
+            stderr=subprocess.STDOUT,
+        )
+        return ShardHandle(
+            spec=spec, host=host, proc=proc,
+            log_path=log_path, _log_handle=log_handle,
+        )
+
+    def poll_shard(self, handle: ShardHandle) -> int | None:
+        code = handle.proc.poll()
+        if code is not None and handle._log_handle is not None:
+            handle._log_handle.close()
+            handle._log_handle = None
+            self.release_host(handle.host)
+        return code
+
+    def kill(self, handle: ShardHandle) -> None:
+        if handle.proc is not None and handle.proc.poll() is None:
+            handle.proc.kill()  # SIGKILL: the worker gets no chance to tidy up
+
+
+class SubprocessLauncher(CommandLauncher):
+    """One ``python -m repro.evaluation.orchestrator --run-shard`` process
+    per shard on this machine — :class:`RemoteLauncher`'s degenerate case
+    (the template is just ``{argv}``, no host)."""
+
+    name = "subprocess"
+
+
+class RemoteLauncher(CommandLauncher):
+    """Machine-list backend: round-robin shard workers over ``hosts``
+    through a command template, ``ssh {host} -- {argv}`` by default.
+
+    The state directory (and any ``--cache-dir``/``--remote-cache-dir``)
+    must be a path shared by every machine — an NFS/sshfs mount or a
+    synced checkout — since workers write their manifests and event
+    streams there and the orchestrator tails them.  Templates can inject
+    whatever the remote side needs, e.g.::
+
+        ssh {host} -- env PYTHONPATH=/mnt/repro/src {argv}
+
+    A free host is preferred over a busy one, so work stolen from a dead
+    machine lands on surviving machines first.
+    """
+
+    name = "remote"
+
+    def __init__(
+        self,
+        hosts: Sequence[str],
+        template: str = "ssh {host} -- {argv}",
+        python: str | None = None,
+    ) -> None:
+        super().__init__(python=python)
+        if not hosts:
+            raise ValueError("RemoteLauncher needs at least one host")
+        self.hosts = list(hosts)
+        self.template = template
+        self._busy: dict[str, int] = {host: 0 for host in self.hosts}
+        self._rotation = 0
+
+    def pick_host(self) -> str | None:
+        # Least-busy wins; ties rotate so shards spread over the list.
+        ordered = self.hosts[self._rotation:] + self.hosts[:self._rotation]
+        self._rotation = (self._rotation + 1) % len(self.hosts)
+        host = min(ordered, key=lambda h: self._busy[h])
+        self._busy[host] += 1
+        return host
+
+    def release_host(self, host: str | None) -> None:
+        if host in self._busy and self._busy[host] > 0:
+            self._busy[host] -= 1
+
+    def capacity(self) -> int | None:
+        return len(self.hosts)
 
 
 LAUNCHERS: dict[str, Callable[[], ShardLauncher]] = {
     "local": LocalLauncher,
     "subprocess": SubprocessLauncher,
 }
+
+
+# ---------------------------------------------------------------------------
+# The fleet loop: retry, straggler detection, work-stealing
+# ---------------------------------------------------------------------------
+
+
+def _log_tail(path: Path | str | None, limit: int = 20) -> str:
+    """The last ``limit`` lines of a worker log ('' when there is none)."""
+    if path is None:
+        return ""
+    try:
+        lines = Path(path).read_text(errors="replace").splitlines()
+    except OSError:
+        return ""
+    return "\n".join(lines[-limit:])
+
+
+def _manifest_entry_count(path: Path | str) -> int:
+    """Completed-case count of one shard manifest (complete lines only)."""
+    try:
+        return Path(path).read_bytes().count(b"\n")
+    except OSError:
+        return 0
+
+
+def _unfinished_cases(spec: dict[str, Any], state_dir: Path) -> list[BenchmarkCase]:
+    """The cases of ``spec`` *not yet recorded* in any resumability manifest
+    of the state dir — the work a dead or straggling shard leaves behind,
+    computed from result-stage :class:`CacheKey` digests so a case another
+    worker (or an earlier attempt) finished is never recompiled."""
+    finished = set(load_manifest(state_dir))
+    harness = EvaluationHarness(
+        device=device_by_name(spec["device"]), repeats=spec["repeats"]
+    )
+    return [
+        case
+        for case in (case_from_dict(entry) for entry in spec["cases"])
+        if harness.result_key(case).digest("result") not in finished
+    ]
+
+
+def _replacement_spec(
+    spec: dict[str, Any], cases: Sequence[BenchmarkCase], index: int, state_dir: Path
+) -> dict[str, Any]:
+    """A fresh shard spec re-queueing ``cases`` under a new shard index
+    (fresh manifest/event/log files; all other job parameters inherited)."""
+    new = dict(spec)
+    new["shard"] = index
+    new["cases"] = [case_to_dict(case) for case in cases]
+    new["events"] = str(state_dir / f"events-shard{index}.jsonl")
+    new["results"] = str(state_dir / f"results-shard{index}.json")
+    new["manifest"] = str(_manifest_path(state_dir, index))
+    # Fault injection targets the first attempt only; replacements run clean.
+    new.pop("chaos_kill_after", None)
+    return new
+
+
+@dataclass
+class _Flight:
+    """Fleet-loop bookkeeping for one in-flight shard attempt."""
+
+    handle: ShardHandle
+    attempt: int
+    manifest: Path
+    last_entries: int = 0
+    last_progress: float = 0.0
+    killed_by: str | None = None
+
+
+@dataclass
+class _Pending:
+    """A re-queued shard waiting out its retry backoff."""
+
+    ready_at: float
+    spec: dict[str, Any]
+    attempt: int
+    from_shard: int
+
+
+def run_fleet(
+    specs: list[dict[str, Any]],
+    launcher: ShardLauncher,
+    *,
+    state_dir: str | Path,
+    events: EventWriter,
+    forwarder: _EventForwarder,
+    max_retries: int = 1,
+    retry_backoff: float = 0.5,
+    straggler_timeout: float | None = None,
+    steal: bool = True,
+    poll_interval: float = 0.05,
+) -> tuple[list[int], list[dict[str, Any]]]:
+    """Drive shard workers to completion with retry, straggler replacement
+    and work-stealing.
+
+    Every shard failure (non-zero exit that is not the resumable
+    :data:`EXIT_INTERRUPTED`, including SIGKILL and straggler kills)
+    re-queues the shard's *unfinished* cases — anything already recorded
+    in a manifest is never re-run — as fresh shards after an exponential
+    ``retry_backoff``.  With ``steal=True`` the re-queued work is split
+    over the launcher's idle capacity (surviving machines pick it up);
+    otherwise it is relaunched as one shard.  A lineage that fails more
+    than ``max_retries`` times is reported as a hard failure with the
+    tail of its worker log.
+
+    ``straggler_timeout`` kills (SIGKILL) any worker whose manifest makes
+    no progress for that many seconds, then re-queues it like a crash.
+
+    Returns ``(terminal exit codes, hard failures)`` — codes of flights
+    that were not replaced, and one diagnostic dict per exhausted lineage.
+    """
+    state_dir = Path(state_dir)
+    codes: list[int] = []
+    failures: list[dict[str, Any]] = []
+    pending: list[_Pending] = []
+    next_index = max((spec["shard"] for spec in specs), default=0) + 1
+
+    def _launch(spec: dict[str, Any], attempt: int) -> _Flight:
+        handle = launcher.start(spec)
+        handle.attempt = attempt
+        return _Flight(
+            handle=handle,
+            attempt=attempt,
+            manifest=Path(spec["manifest"]),
+            last_entries=_manifest_entry_count(spec["manifest"]),
+            last_progress=time.monotonic(),
+        )
+
+    flights = [_launch(spec, 1) for spec in specs]
+    while flights or pending:
+        forwarder.poll()
+        now = time.monotonic()
+
+        for item in [p for p in pending if p.ready_at <= now]:
+            pending.remove(item)
+            Path(item.spec["events"]).write_text("")
+            forwarder.add_path(Path(item.spec["events"]))
+            flights.append(_launch(item.spec, item.attempt))
+
+        still_running: list[_Flight] = []
+        for flight in flights:
+            spec = flight.handle.spec
+            code = launcher.poll_shard(flight.handle)
+            if code is None:
+                entries = _manifest_entry_count(flight.manifest)
+                if entries > flight.last_entries:
+                    flight.last_entries = entries
+                    flight.last_progress = now
+                if (
+                    straggler_timeout is not None
+                    and flight.killed_by is None
+                    and now - flight.last_progress > straggler_timeout
+                ):
+                    events.emit(
+                        "shard_straggler",
+                        shard=spec["shard"],
+                        attempt=flight.attempt,
+                        stalled_s=round(now - flight.last_progress, 3),
+                    )
+                    flight.killed_by = "straggler"
+                    launcher.kill(flight.handle)
+                still_running.append(flight)
+                continue
+
+            if code in (0, EXIT_INTERRUPTED):
+                codes.append(code)
+                continue
+
+            # Crashed (or killed).  Re-queue whatever it did not finish.
+            unfinished = _unfinished_cases(spec, state_dir)
+            tail = _log_tail(flight.handle.log_path)
+            events.emit(
+                "shard_failed",
+                shard=spec["shard"],
+                attempt=flight.attempt,
+                exit_code=code,
+                cause=flight.killed_by or "crash",
+                unfinished_cases=len(unfinished),
+                log_tail=tail,
+            )
+            if not unfinished:
+                # Died after manifesting every case (e.g. while writing the
+                # shard results file): the manifest is the source of truth,
+                # so nothing is lost and nothing needs re-running.
+                codes.append(0)
+                continue
+            if flight.attempt > max_retries:
+                failures.append(
+                    {
+                        "shard": spec["shard"],
+                        "attempts": flight.attempt,
+                        "exit_code": code,
+                        "unfinished_cases": len(unfinished),
+                        "log_tail": tail,
+                    }
+                )
+                codes.append(code)
+                continue
+            nominal = launcher.capacity() or len(specs)
+            idle = max(nominal - len(still_running), 1)
+            shard_count = min(idle, len(unfinished)) if steal else 1
+            delay = retry_backoff * (2 ** (flight.attempt - 1))
+            for chunk in split_shards(
+                order_for_prefix_sharing(unfinished), shard_count
+            ):
+                if not chunk:
+                    continue
+                new_spec = _replacement_spec(spec, chunk, next_index, state_dir)
+                next_index += 1
+                pending.append(
+                    _Pending(now + delay, new_spec, flight.attempt + 1, spec["shard"])
+                )
+                events.emit(
+                    "shard_requeued",
+                    shard=new_spec["shard"],
+                    from_shard=spec["shard"],
+                    attempt=flight.attempt + 1,
+                    cases=len(chunk),
+                    backoff_s=delay,
+                )
+        flights = still_running
+        if flights or pending:
+            time.sleep(poll_interval)
+    forwarder.poll()
+    return codes, failures
 
 
 # ---------------------------------------------------------------------------
@@ -686,18 +1090,27 @@ def orchestrate(
     repeats: int = 1,
     jobs: int = 1,
     cache_dir: str | None = None,
+    remote_cache_dir: str | None = None,
     cache_max_bytes: int | None = None,
     max_cases_per_shard: int | None = None,
     events: EventWriter | None = None,
     output: str | Path | None = None,
+    max_retries: int = 1,
+    retry_backoff: float = 0.5,
+    straggler_timeout: float | None = None,
+    steal: bool = True,
+    chaos_kill_shard: int | None = None,
+    chaos_kill_after: int = 1,
 ) -> tuple[int, list[dict[str, Any]]]:
     """Run a planned matrix end-to-end.
 
     Returns ``(exit_code, merged_entries)``: 0 when every planned case
-    completed; :data:`EXIT_INTERRUPTED` when shards stopped at a
-    ``max_cases_per_shard`` budget (resumable — re-run with the same
-    state dir); 1 when a worker crashed or vanished without recording
-    its cases.  Partial results are merged and written in every case.
+    completed (possibly after retries/steals); :data:`EXIT_INTERRUPTED`
+    when shards stopped at a ``max_cases_per_shard`` budget (resumable —
+    re-run with the same state dir); 1 when a worker crashed beyond its
+    ``max_retries`` budget or vanished without recording its cases (the
+    failure message quotes the tail of the worker's captured log).
+    Partial results are merged and written in every case.
     """
     state_dir = Path(state_dir)
     state_dir.mkdir(parents=True, exist_ok=True)
@@ -713,12 +1126,22 @@ def orchestrate(
             repeats=repeats,
             jobs=jobs,
             cache_dir=cache_dir,
+            remote_cache_dir=remote_cache_dir,
             cache_max_bytes=cache_max_bytes,
             max_cases=max_cases_per_shard,
         )
         for shard in plan.shards
         if shard.cases
     ]
+    if chaos_kill_shard is not None:
+        if isinstance(launcher, LocalLauncher):
+            # The worker SIGKILLs itself — in-process that is *this* process.
+            raise ValueError(
+                "chaos_kill_shard needs a process-based launcher"
+            )
+        for spec in specs:
+            if spec["shard"] == chaos_kill_shard:
+                spec["chaos_kill_after"] = chaos_kill_after
     events.emit(
         "plan",
         shards=len(specs),
@@ -726,14 +1149,25 @@ def orchestrate(
         resumed=len(plan.resumed),
         order=plan.order,
         launcher=launcher.name,
+        max_retries=max_retries,
+        steal=steal,
     )
     forwarder = _EventForwarder([Path(spec["events"]) for spec in specs], events)
     # Shard event files are recreated by the workers; start tails at zero
     # against the previous run's leftovers.
     for spec in specs:
         Path(spec["events"]).write_text("")
-    launcher.launch(specs)
-    codes = launcher.wait(poll=forwarder.poll)
+    codes, failures = run_fleet(
+        specs,
+        launcher,
+        state_dir=state_dir,
+        events=events,
+        forwarder=forwarder,
+        max_retries=max_retries,
+        retry_backoff=retry_backoff,
+        straggler_timeout=straggler_timeout,
+        steal=steal,
+    )
 
     manifest = load_manifest(state_dir)
     harness = EvaluationHarness(device=device_by_name(device), repeats=repeats)
@@ -768,7 +1202,22 @@ def orchestrate(
         merged_entries=len(merged),
         shard_exit_codes=codes,
         crashed_shards=len(crashed),
+        hard_failures=len(failures),
     )
+    for failure in failures:
+        message = (
+            f"shard {failure['shard']} failed with exit code "
+            f"{failure['exit_code']} after {failure['attempts']} attempt(s); "
+            f"{failure['unfinished_cases']} case(s) left unfinished"
+        )
+        tail = failure.get("log_tail") or ""
+        if tail:
+            message += "; last worker log lines:\n" + "\n".join(
+                f"  | {line}" for line in tail.splitlines()
+            )
+        else:
+            message += " (no worker log captured)"
+        print(message, file=sys.stderr)
     if ok:
         exit_code = 0
     elif crashed or (missing and not interrupted):
@@ -794,9 +1243,19 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--shards", type=int, default=2, metavar="N",
                         help="number of shards to fan the matrix out to (default 2)")
-    parser.add_argument("--launcher", choices=sorted(LAUNCHERS), default="local",
-                        help="shard backend: in-process 'local' or one "
-                        "'subprocess' worker per shard")
+    parser.add_argument("--launcher", choices=sorted([*LAUNCHERS, "remote"]),
+                        default="local",
+                        help="shard backend: in-process 'local', one "
+                        "'subprocess' worker per shard, or 'remote' workers "
+                        "over a --hosts machine list")
+    parser.add_argument("--hosts", nargs="+", default=None, metavar="HOST",
+                        help="machine list for --launcher remote (shards are "
+                        "spread least-busy-first over these hosts)")
+    parser.add_argument("--remote-template", default="ssh {host} -- {argv}",
+                        metavar="TEMPLATE",
+                        help="worker command template for --launcher remote; "
+                        "{argv} is the worker command line, {host} the "
+                        "assigned machine (default 'ssh {host} -- {argv}')")
     parser.add_argument("--order", choices=("prefix", "case"), default="prefix",
                         help="case ordering: prefix-aware grouping (default) or "
                         "legacy case-major striding")
@@ -821,9 +1280,33 @@ def main(argv: list[str] | None = None) -> int:
                         "event streams (default .shmls-orchestrate)")
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="shared content-addressed compile-cache directory")
+    parser.add_argument("--remote-cache-dir", default=None, metavar="DIR",
+                        help="shared network cache tier behind --cache-dir "
+                        "(an NFS/sshfs-mounted path): read-through on miss, "
+                        "written back on store, so warm artefacts dedup "
+                        "across machines and users")
     parser.add_argument("--cache-max-bytes", type=int, default=None, metavar="BYTES",
                         help="evict least-recently-used cache entries down to "
                         "this on-disk budget after each shard")
+    parser.add_argument("--max-retries", type=int, default=1, metavar="N",
+                        help="relaunch a dead/straggling shard's unfinished "
+                        "cases up to N times before failing hard (default 1)")
+    parser.add_argument("--retry-backoff", type=float, default=0.5, metavar="S",
+                        help="base delay before a relaunch, doubled per "
+                        "attempt (default 0.5s)")
+    parser.add_argument("--straggler-timeout", type=float, default=None, metavar="S",
+                        help="SIGKILL and re-queue any worker whose manifest "
+                        "makes no progress for S seconds (default: off)")
+    parser.add_argument("--no-steal", action="store_true",
+                        help="relaunch a failed shard as one piece instead of "
+                        "splitting its unfinished cases over idle capacity")
+    parser.add_argument("--chaos-kill-shard", type=int, default=None, metavar="I",
+                        help="fault injection (tests/CI): SIGKILL shard I's "
+                        "first attempt once --chaos-kill-after of its cases "
+                        "are manifested")
+    parser.add_argument("--chaos-kill-after", type=int, default=1, metavar="N",
+                        help="manifested cases before the chaos kill fires "
+                        "(default 1)")
     parser.add_argument("--output", default=None, metavar="FILE",
                         help="write the merged deterministic report here")
     parser.add_argument("--events", default=None, metavar="FILE",
@@ -844,6 +1327,18 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.run_shard is not None:
         return run_shard_spec(json.loads(Path(args.run_shard).read_text()))
+
+    if args.launcher == "remote":
+        if not args.hosts:
+            parser.error("--launcher remote needs --hosts")
+        launcher: ShardLauncher = RemoteLauncher(
+            args.hosts, template=args.remote_template
+        )
+    else:
+        launcher = LAUNCHERS[args.launcher]()
+    if args.chaos_kill_shard is not None and isinstance(launcher, LocalLauncher):
+        parser.error("--chaos-kill-shard needs a process-based launcher "
+                     "(subprocess or remote)")
 
     state_dir = Path(args.state_dir)
     state_dir.mkdir(parents=True, exist_ok=True)
@@ -881,15 +1376,22 @@ def main(argv: list[str] | None = None) -> int:
     code, merged = orchestrate(
         plan,
         state_dir=state_dir,
-        launcher=args.launcher,
+        launcher=launcher,
         device=args.device,
         repeats=args.repeats,
         jobs=args.jobs,
         cache_dir=args.cache_dir,
+        remote_cache_dir=args.remote_cache_dir,
         cache_max_bytes=args.cache_max_bytes,
         max_cases_per_shard=args.max_cases_per_shard,
         events=events,
         output=args.output,
+        max_retries=args.max_retries,
+        retry_backoff=args.retry_backoff,
+        straggler_timeout=args.straggler_timeout,
+        steal=not args.no_steal,
+        chaos_kill_shard=args.chaos_kill_shard,
+        chaos_kill_after=args.chaos_kill_after,
     )
     print(
         f"orchestrated {plan.planned_cases} case(s) over "

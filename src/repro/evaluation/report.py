@@ -180,6 +180,10 @@ def main(argv: list[str] | None = None) -> int:
                         help="evaluate cases over N worker processes (default: serial)")
     parser.add_argument("--cache-dir", type=str, default=None, metavar="DIR",
                         help="content-addressed compile/result cache directory")
+    parser.add_argument("--remote-cache-dir", type=str, default=None, metavar="DIR",
+                        help="shared network cache tier behind --cache-dir "
+                        "(an NFS/sshfs-mounted path): read-through on miss, "
+                        "written back on store")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore --cache-dir and recompute everything")
     parser.add_argument("--cache-max-bytes", type=int, default=None, metavar="BYTES",
@@ -196,10 +200,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     cache = None
-    if args.cache_dir and not args.no_cache:
-        cache = CompileCache(args.cache_dir)
-    if args.cache_max_bytes is not None and cache is None:
-        parser.error("--cache-max-bytes needs an active cache (--cache-dir without --no-cache)")
+    if (args.cache_dir or args.remote_cache_dir) and not args.no_cache:
+        cache = CompileCache(args.cache_dir, remote_dir=args.remote_cache_dir)
+    if args.cache_max_bytes is not None and (cache is None or cache.cache_dir is None):
+        parser.error("--cache-max-bytes needs an active local cache "
+                     "(--cache-dir without --no-cache)")
     harness = EvaluationHarness(repeats=args.repeats, cache=cache, jobs=max(args.jobs, 1))
     cases = _quick_cases() if args.quick else list(DEFAULT_CASES)
     if args.shard:

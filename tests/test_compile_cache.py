@@ -186,6 +186,68 @@ class TestHarnessResultCache:
         assert again.cache.stats.hits["result"] == 2
 
 
+class TestRemoteTier:
+    def _key(self, name: str = "m") -> CacheKey:
+        return CacheKey(module_hash=name)
+
+    def test_write_back_publishes_to_both_tiers(self, tmp_path):
+        local, remote = tmp_path / "local", tmp_path / "remote"
+        cache = CompileCache(local, remote_dir=remote)
+        cache.put(self._key(), "result", {"mpts": 2.0})
+        assert cache.stats.remote_stores == 1
+        digest = self._key().digest("result")
+        assert (local / digest[:2] / f"{digest}.pkl").exists()
+        assert (remote / digest[:2] / f"{digest}.pkl").exists()
+
+    def test_remote_hit_reads_through_to_local(self, tmp_path):
+        remote = tmp_path / "remote"
+        publisher = CompileCache(tmp_path / "machine-a", remote_dir=remote)
+        publisher.put(self._key(), "result", {"mpts": 2.0})
+        consumer = CompileCache(tmp_path / "machine-b", remote_dir=remote)
+        assert consumer.get(self._key(), "result") == {"mpts": 2.0}
+        assert consumer.stats.remote_hits == 1
+        assert consumer.stats.hits["result"] == 1
+        # Read-through: the artefact now lives in machine B's local tier,
+        # so a later process on B never touches the network again.
+        later = CompileCache(tmp_path / "machine-b")
+        assert later.get(self._key(), "result") == {"mpts": 2.0}
+        assert later.stats.remote_hits == 0
+
+    def test_remote_only_cache_round_trips(self, tmp_path):
+        CompileCache(remote_dir=tmp_path).put(self._key(), "result", "artefact")
+        fresh = CompileCache(remote_dir=tmp_path)
+        assert fresh.get(self._key(), "result") == "artefact"
+        assert fresh.stats.remote_hits == 1
+
+    def test_local_tier_wins_without_remote_traffic(self, tmp_path):
+        local, remote = tmp_path / "local", tmp_path / "remote"
+        CompileCache(local, remote_dir=remote).put(self._key(), "result", 1)
+        warm = CompileCache(local, remote_dir=remote)
+        assert warm.get(self._key(), "result") == 1
+        assert warm.stats.remote_hits == 0
+
+    def test_unwritable_remote_degrades_gracefully(self, tmp_path):
+        remote = tmp_path / "remote"
+        remote.write_text("a file, not a directory")
+        cache = CompileCache(tmp_path / "local", remote_dir=remote)
+        cache.put(self._key(), "result", "artefact")
+        assert cache.stats.remote_stores == 0
+        assert cache.stats.errors > 0
+        # The local store still landed; lookups that consult the broken
+        # remote tier degrade to misses instead of crashing.
+        fresh = CompileCache(tmp_path / "local", remote_dir=remote)
+        assert fresh.get(self._key(), "result") == "artefact"
+        assert fresh.get(self._key("other"), "result") is None
+
+    def test_summary_lines_report_remote_traffic(self, tmp_path):
+        publisher = CompileCache(remote_dir=tmp_path)
+        publisher.put(self._key(), "result", 1)
+        consumer = CompileCache(remote_dir=tmp_path)
+        consumer.get(self._key(), "result")
+        assert any("remote tier" in line for line in publisher.stats.summary_lines())
+        assert any("remote tier" in line for line in consumer.stats.summary_lines())
+
+
 class TestModuleHashKeying:
     def test_same_kernel_same_hash(self, module):
         assert module_hash(module) == module_hash(

@@ -27,6 +27,7 @@ from repro.evaluation.orchestrator import (
     plan_matrix,
     read_events,
     shared_prefix_depth,
+    ShardHandle,
     split_shards,
     SubprocessLauncher,
 )
@@ -315,23 +316,27 @@ class TestOrchestrateEndToEnd:
         ]
         assert len(load_manifest(tmp_path / "state")) == 2
 
-    def test_crashed_worker_is_not_reported_as_resumable(self, tmp_path):
+    def test_crashed_worker_is_not_reported_as_resumable(self, tmp_path, capsys):
         """A worker that dies (vs. one stopped by --max-cases-per-shard)
-        must surface as a hard failure (exit 1), not EXIT_INTERRUPTED."""
+        must surface as a hard failure (exit 1), not EXIT_INTERRUPTED —
+        even after the retry budget replayed it."""
 
         class CrashingLauncher(LocalLauncher):
-            def wait(self, poll=None):
-                return [1 for _ in self._specs]  # died before recording anything
+            def start(self, spec):
+                # Died before recording anything, every attempt.
+                return ShardHandle(spec=spec, code=1)
 
         plan = plan_matrix(
             [BenchmarkCase("pw_advection", PW_ADVECTION_SIZES["8M"], "DaCe")],
             shards=1,
         )
         code, merged = orchestrate(
-            plan, state_dir=tmp_path / "state", launcher=CrashingLauncher()
+            plan, state_dir=tmp_path / "state", launcher=CrashingLauncher(),
+            max_retries=1, retry_backoff=0.0,
         )
         assert code == 1
         assert merged == []
+        assert "failed with exit code 1" in capsys.readouterr().err
 
 
 class TestManifest:

@@ -146,6 +146,20 @@ class TestCacheGC:
         with pytest.raises(ValueError):
             cache.gc(max_bytes=-1)
 
+    def test_disk_hit_refreshes_lru_recency(self, tmp_path):
+        """Regression: gc's LRU keyed on *store*-time mtime only, so a hot
+        entry read on every run was evicted before a cold never-read one
+        stored later.  A disk-tier hit now refreshes the entry's mtime."""
+        cache = CompileCache(tmp_path)
+        keys = self._fill(cache, 2)  # keys[0] oldest on disk, keys[1] newer
+        reader = CompileCache(tmp_path)  # fresh process: a disk-tier hit
+        assert reader.get(keys[0], "result") is not None
+        total = reader.disk_bytes()
+        assert reader.gc(max_bytes=total // 2) == 1
+        fresh = CompileCache(tmp_path)
+        assert fresh.get(keys[0], "result") is not None  # hot entry survived
+        assert fresh.get(keys[1], "result") is None      # unread one evicted
+
     def test_gc_memory_only_cache_is_noop(self):
         cache = CompileCache()
         cache.put(CacheKey(module_hash="m"), "result", "payload")
