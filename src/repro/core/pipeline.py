@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.core.compile_cache import CacheKey, CompileCache
 from repro.core.config import CompilerOptions
@@ -110,6 +111,49 @@ class MiddleEndResult:
             ],
         )
 
+    def with_note(self, note: str = "") -> "MiddleEndResult":
+        """Restamp statistics *without* cloning the IR.
+
+        Valid only when the modules are already private to the caller —
+        which is exactly what a mapped-cache hit hands back (every decode
+        builds fresh objects), so mapped restores skip the pickle
+        round-trip :meth:`clone` pays.
+        """
+        return MiddleEndResult(
+            hls_module=self.hls_module,
+            llvm_module=self.llvm_module,
+            plans=dict(self.plans),
+            fpp_report=self.fpp_report,
+            pass_statistics=[
+                dataclasses.replace(stat, note=note or stat.note)
+                for stat in self.pass_statistics
+            ],
+        )
+
+    # -- mapped-cache codec (see repro.core.compile_cache) --------------------
+
+    def __mapped_sections__(self) -> tuple[dict, dict]:
+        # llvm_module and the plans reference shared IR objects (plan
+        # analyses point into the module), so they serialise together;
+        # the HLS snapshot is an independent clone and gets its own
+        # lazily-decoded section.
+        return {}, {
+            "hls": self.hls_module,
+            "payload": (self.llvm_module, self.plans, self.fpp_report),
+            "statistics": self.pass_statistics,
+        }
+
+    @classmethod
+    def __from_mapped__(cls, meta: dict, section, has) -> "MiddleEndResult":
+        llvm_module, plans, fpp_report = section("payload")
+        return cls(
+            hls_module=section("hls"),
+            llvm_module=llvm_module,
+            plans=plans,
+            fpp_report=fpp_report,
+            pass_statistics=section("statistics"),
+        )
+
 
 @dataclass
 class PassPrefixArtifact:
@@ -145,6 +189,48 @@ class PassPrefixArtifact:
                 for stat in self.statistics
             ],
             out_hash=self.out_hash,
+        )
+
+    def with_note(self, note: str = "") -> "PassPrefixArtifact":
+        """Restamp statistics without re-serialising the snapshot — the
+        mapped-cache counterpart of :meth:`clone` (decoded sections are
+        already private objects)."""
+        return PassPrefixArtifact(
+            module=self.module,
+            lowering=self.lowering,
+            hls_module=self.hls_module,
+            statistics=[
+                dataclasses.replace(stat, note=note or stat.note)
+                for stat in self.statistics
+            ],
+            out_hash=self.out_hash,
+        )
+
+    # -- mapped-cache codec (see repro.core.compile_cache) --------------------
+
+    def __mapped_sections__(self) -> tuple[dict, dict]:
+        # The module and the LoweringContext reference each other's IR
+        # objects, so they share one section; the HLS snapshot (when
+        # present) is independent and decodes lazily — a chain walk that
+        # never simulates the kernel never touches it.
+        meta = {"out_hash": self.out_hash}
+        parts: dict[str, Any] = {
+            "payload": (self.module, self.lowering),
+            "statistics": self.statistics,
+        }
+        if self.hls_module is not None:
+            parts["hls"] = self.hls_module
+        return meta, parts
+
+    @classmethod
+    def __from_mapped__(cls, meta: dict, section, has) -> "PassPrefixArtifact":
+        module, lowering = section("payload")
+        return cls(
+            module=module,
+            lowering=lowering,
+            hls_module=section("hls") if has("hls") else None,
+            statistics=section("statistics"),
+            out_hash=meta["out_hash"],
         )
 
 
@@ -212,16 +298,27 @@ class StencilHMLSCompiler:
         spec = self.pass_pipeline or self.default_pipeline()
 
         key = self.cache_key(stencil_module, spec) if self.cache is not None else None
+        mapped = self.cache is not None and self.cache.fmt == "mapped"
         middle: MiddleEndResult | None = None
         if self.cache is not None and key is not None:
+            # Mapped hits decode to fresh private objects already, so the
+            # note is restamped in place; pickle hits clone defensively.
             middle = self.cache.get(
-                key, "middle-end", rehydrate=lambda m: m.clone(note="cached")
+                key,
+                "middle-end",
+                rehydrate=(
+                    (lambda m: m.with_note("cached"))
+                    if mapped
+                    else (lambda m: m.clone(note="cached"))
+                ),
             )
         if middle is None:
             middle = self._run_middle_end(stencil_module.clone(), spec)
             if self.cache is not None and key is not None:
-                # Store a private copy: the caller may mutate the returned IR.
-                self.cache.put(key, "middle-end", middle.clone())
+                # Store a private copy: the caller may mutate the returned
+                # IR.  Mapped stores encode immediately (isolation built
+                # in), so the clone round-trip is pickle-format-only.
+                self.cache.put(key, "middle-end", middle if mapped else middle.clone())
         self.pass_statistics = list(middle.pass_statistics)
 
         plan = select_plan(middle.plans, kernel_name)
@@ -298,7 +395,11 @@ class StencilHMLSCompiler:
                 # (e.g. its store failed while the sidecar's succeeded).
                 artifact = self.cache.get(chain_keys[-1], "pass-prefix")
                 if artifact is not None:
-                    restored = artifact.clone(note="prefix-cached")
+                    restored = (
+                        artifact.with_note("prefix-cached")
+                        if self.cache.fmt == "mapped"
+                        else artifact.clone(note="prefix-cached")
+                    )
                     start_index = len(chain_keys)
                     working = restored.module
                     context = PassContext()

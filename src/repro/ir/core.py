@@ -13,7 +13,11 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Iterator, Sequence
 
-from repro.ir.interning import InternedAttributeMeta, reconstruct_interned
+from repro.ir.interning import (
+    InternedAttributeMeta,
+    reconstruct_interned,
+    table_reduce,
+)
 
 
 class VerifyException(Exception):
@@ -66,9 +70,18 @@ class Attribute(metaclass=InternedAttributeMeta):
         return hash((type(self), self._hashable(self.parameters())))
 
     def __reduce__(self) -> tuple:
+        # With a shared intern table active, pickle shrinks to a digest
+        # reference the reader resolves against the mapped table.
+        shared = table_reduce(self)
+        if shared is not None:
+            return shared
         # Re-intern on unpickle: the interner is per-process, so identity
         # equality must be re-established in pool workers / cache readers.
-        state = {k: v for k, v in self.__dict__.items() if k != "_hash"}
+        state = {
+            k: v
+            for k, v in self.__dict__.items()
+            if k not in ("_hash", "_digest", "_prefer_ref")
+        }
         return (reconstruct_interned, (type(self), state))
 
     @staticmethod

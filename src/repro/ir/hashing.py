@@ -35,6 +35,7 @@ import json
 from typing import Any, Mapping
 
 from repro.ir.core import Block, Operation, Region, SSAValue
+from repro.ir.interning import frame as _frame
 from repro.ir.printer import Printer
 
 
@@ -60,16 +61,6 @@ def canonical_module_text(op: Operation) -> str:
 # ---------------------------------------------------------------------------
 # Incremental structural fingerprints
 # ---------------------------------------------------------------------------
-
-def _frame(parts: list[str]) -> bytes:
-    """Netstring-frame fingerprint payload parts (``<len>:<part>...``).
-
-    Length-prefixing makes the encoding injective even though attribute
-    renderings are unescaped user data — no separator an attribute value
-    could contain can make two different part sequences encode alike.
-    """
-    return "".join(f"{len(part)}:{part}" for part in parts).encode("utf-8")
-
 
 class _Scope:
     """One fingerprint naming scope: positional locals + first-use frees."""

@@ -1,10 +1,17 @@
 """Tests for the content-addressed compile cache and cache-aware harness."""
 
 import dataclasses
+import threading
 
 import pytest
 
-from repro.core.compile_cache import CacheKey, CompileCache
+from repro.core.compile_cache import (
+    CacheKey,
+    CompileCache,
+    MappedBlob,
+    _ensure_pickle_recursion_floor,
+    encode_mapped,
+)
 from repro.core.config import CompilerOptions
 from repro.core.pipeline import StencilHMLSCompiler
 from repro.evaluation.harness import BenchmarkCase, EvaluationHarness
@@ -246,6 +253,161 @@ class TestRemoteTier:
         consumer.get(self._key(), "result")
         assert any("remote tier" in line for line in publisher.stats.summary_lines())
         assert any("remote tier" in line for line in consumer.stats.summary_lines())
+
+
+class TestMappedFormat:
+    def _key(self, name: str = "m") -> CacheKey:
+        return CacheKey(module_hash=name)
+
+    def test_mapped_round_trip_returns_private_objects(self, tmp_path):
+        cache = CompileCache(tmp_path, fmt="mapped")
+        cache.put(self._key(), "result", {"mpts": [1.5, 2.5]})
+        first = cache.get(self._key(), "result")
+        second = cache.get(self._key(), "result")
+        assert first == {"mpts": [1.5, 2.5]}
+        assert second == first
+        assert second is not first  # each decode yields fresh objects
+        first["mpts"].append(99)  # mutating a hit can't poison later hits
+        assert cache.get(self._key(), "result") == {"mpts": [1.5, 2.5]}
+
+    def test_mapped_disk_tier_survives_new_cache_instance(self, tmp_path):
+        CompileCache(tmp_path, fmt="mapped").put(self._key(), "result", "artefact")
+        digest = self._key().digest("result")
+        assert (tmp_path / digest[:2] / f"{digest}.shmc").exists()
+        fresh = CompileCache(tmp_path, fmt="mapped")
+        assert fresh.get(self._key(), "result") == "artefact"
+        assert fresh.stats.hits["result"] == 1
+
+    def test_mapped_remote_tier_round_trips(self, tmp_path):
+        remote = tmp_path / "remote"
+        publisher = CompileCache(tmp_path / "a", remote_dir=remote, fmt="mapped")
+        publisher.put(self._key(), "result", {"mpts": 2.0})
+        assert publisher.stats.remote_stores == 1
+        consumer = CompileCache(tmp_path / "b", remote_dir=remote, fmt="mapped")
+        assert consumer.get(self._key(), "result") == {"mpts": 2.0}
+        assert consumer.stats.remote_hits == 1
+        # Read-through: machine B's local tier now holds the container.
+        later = CompileCache(tmp_path / "b", fmt="mapped")
+        assert later.get(self._key(), "result") == {"mpts": 2.0}
+        assert later.stats.remote_hits == 0
+
+    def test_formats_do_not_cross_read(self, tmp_path):
+        """A pickle-format cache never serves a mapped container and vice
+        versa — each instance reads only its own extension."""
+        CompileCache(tmp_path, fmt="pickle").put(self._key(), "result", 1)
+        mapped = CompileCache(tmp_path, fmt="mapped")
+        assert mapped.get(self._key(), "result") is None
+        mapped.put(self._key(), "result", 2)
+        pickled = CompileCache(tmp_path, fmt="pickle")
+        assert pickled.get(self._key(), "result") == 1
+
+    def test_corrupt_mapped_entry_is_a_miss(self, tmp_path):
+        cache = CompileCache(tmp_path, fmt="mapped")
+        cache.put(self._key(), "result", "artefact")
+        for entry in tmp_path.rglob("*.shmc"):
+            entry.write_bytes(b"not a mapped container")
+        fresh = CompileCache(tmp_path, fmt="mapped")
+        assert fresh.get(self._key(), "result") is None
+        assert fresh.stats.errors > 0
+
+    def test_mapped_blob_sections_decode_lazily(self):
+        blob = MappedBlob(encode_mapped({"answer": 42}))
+        assert blob.decode() == {"answer": 42}
+        blob.close()
+
+    def test_mapped_compile_matches_pickle_compile(self, tmp_path):
+        module = build_pw_advection(PW_ADVECTION_SIZES["8M"].shape)
+        outputs = {}
+        for fmt in ("pickle", "mapped"):
+            cache = CompileCache(tmp_path / fmt, fmt=fmt)
+            compiler = StencilHMLSCompiler(cache=cache)
+            compiler.compile(module)  # cold store
+            warm = compiler.compile(module)  # warm hit via fmt's restore path
+            assert cache.stats.hits["middle-end"] == 1
+            assert all(s.note == "cached" for s in compiler.pass_statistics)
+            outputs[fmt] = (
+                warm.summary(),
+                print_module(warm.llvm_module),
+                print_module(warm.hls_module),
+            )
+        assert outputs["mapped"] == outputs["pickle"]
+
+    def test_unknown_format_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            CompileCache(tmp_path, fmt="msgpack")
+
+
+class TestDiskBytesCounter:
+    def _key(self, name: str = "m") -> CacheKey:
+        return CacheKey(module_hash=name)
+
+    def test_first_read_scans_then_counter_tracks_writes(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        cache.put(self._key("a"), "result", "x" * 100)
+        scanned = cache.disk_bytes()
+        assert scanned > 0
+        cache.put(self._key("b"), "result", "y" * 100)
+        incremental = cache.disk_bytes()
+        assert incremental > scanned
+        # The incremental counter must agree with a from-scratch rescan.
+        assert incremental == CompileCache(tmp_path).disk_bytes()
+
+    def test_overwrite_does_not_double_count(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        cache.put(self._key(), "result", "first-value")
+        before = cache.disk_bytes()
+        cache.put(self._key(), "result", "first-value")  # same entry rewritten
+        assert cache.disk_bytes() == before
+        assert cache.disk_bytes() == CompileCache(tmp_path).disk_bytes()
+
+    def test_gc_resyncs_counter(self, tmp_path):
+        cache = CompileCache(tmp_path)
+        for i in range(6):
+            cache.put(self._key(f"k{i}"), "result", "z" * 400)
+        cache.disk_bytes()
+        cache.gc(max_bytes=600)
+        assert cache.stats.evicted_entries > 0
+        assert cache.disk_bytes() == CompileCache(tmp_path).disk_bytes()
+        assert cache.disk_bytes() <= 600
+
+
+class TestPickleRecursionFloor:
+    def test_floor_is_raised_once_and_never_lowered(self):
+        import sys
+
+        _ensure_pickle_recursion_floor()
+        first = sys.getrecursionlimit()
+        assert first >= 100_000
+        _ensure_pickle_recursion_floor()  # idempotent
+        assert sys.getrecursionlimit() == first
+
+    def test_concurrent_dumps_do_not_corrupt_recursion_limit(self, tmp_path):
+        """Regression: the old implementation saved/restored the limit
+        around every (de)serialisation, so two overlapping calls could
+        restore a stale value mid-flight."""
+        import sys
+
+        cache = CompileCache(tmp_path)
+        errors = []
+
+        def hammer(name: str) -> None:
+            try:
+                key = CacheKey(module_hash=name)
+                for i in range(30):
+                    cache.put(key, f"s{i}", list(range(200)))
+                    assert cache.get(key, f"s{i}") == list(range(200))
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(f"t{n}",)) for n in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert sys.getrecursionlimit() >= 100_000
 
 
 class TestModuleHashKeying:

@@ -1,0 +1,238 @@
+"""Shared cross-process intern table: structural digests, publish/resolve
+round-trips, reference pickling, fallback rules, and real multi-process /
+concurrent-publisher behaviour."""
+
+from __future__ import annotations
+
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+
+import pytest
+
+from repro.core.compile_cache import CacheKey, CompileCache
+from repro.ir.attributes import (
+    ArrayAttr,
+    BoolAttr,
+    DenseIntArrayAttr,
+    DictionaryAttr,
+    IntAttr,
+    StringAttr,
+)
+from repro.ir.interning import (
+    SharedInternTable,
+    activated_table,
+    active_table,
+    attribute_digest,
+    open_shared_table,
+    publish_intern_table,
+    resolve_shared,
+    scratch_interner,
+    table_reduce,
+)
+from repro.ir.types import IntegerType, f32, i32
+
+
+def _compound() -> ArrayAttr:
+    return ArrayAttr(
+        (
+            IntAttr(7, i32),
+            DictionaryAttr({"depth": IntAttr(64), "pipelined": BoolAttr(True)}),
+            DenseIntArrayAttr((1, 2, 3, 4, 5, 6, 7, 8)),
+            StringAttr("a-reasonably-long-payload-string"),
+        )
+    )
+
+
+class TestStructuralDigests:
+    def test_digest_is_stable_and_memoised(self):
+        attr = _compound()
+        digest = attribute_digest(attr)
+        assert digest == attribute_digest(attr)
+        assert len(digest) == 64
+        # Structurally equal instances share one digest (same canonical
+        # object, so trivially), and the digest survives a scratch interner.
+        with scratch_interner():
+            rebuilt = _compound()
+            assert attribute_digest(rebuilt) == digest
+
+    def test_bool_and_int_digests_do_not_collide(self):
+        # bool == int in Python; the digest encoding is type-tagged.
+        assert attribute_digest(BoolAttr(True)) != attribute_digest(IntAttr(1))
+        assert attribute_digest(IntAttr(0)) != attribute_digest(BoolAttr(False))
+
+    def test_distinct_structures_get_distinct_digests(self):
+        assert attribute_digest(IntAttr(7)) != attribute_digest(IntAttr(8))
+        assert attribute_digest(IntAttr(7, i32)) != attribute_digest(IntAttr(7))
+        assert attribute_digest(IntegerType(32)) != attribute_digest(IntegerType(64))
+
+
+class TestPublishAndResolve:
+    def test_round_trip_preserves_identity(self, tmp_path):
+        attr = _compound()
+        digest = attribute_digest(attr)
+        assert publish_intern_table(tmp_path, [attr]) > 0
+
+        table = SharedInternTable.open(tmp_path)
+        assert digest in table
+        # Resolving in the publishing process returns the canonical object.
+        assert table.resolve(digest) is attr
+        # A cold process (simulated by a scratch interner) re-interns to a
+        # single canonical instance, identical to locally built attributes.
+        with scratch_interner():
+            cold = SharedInternTable.open(tmp_path)
+            resolved = cold.resolve(digest)
+            assert resolved is _compound()
+            assert attribute_digest(resolved) == digest
+            cold.close()
+        table.close()
+
+    def test_publish_is_idempotent_and_append_only(self, tmp_path):
+        attr = _compound()
+        first = publish_intern_table(tmp_path, [attr])
+        assert first > 0
+        assert publish_intern_table(tmp_path, [attr]) == 0  # nothing new
+        extra = publish_intern_table(tmp_path, [IntAttr(123456, i32)])
+        assert extra >= 1
+        table = SharedInternTable.open(tmp_path)
+        assert attribute_digest(attr) in table
+        assert attribute_digest(IntAttr(123456, i32)) in table
+        table.close()
+
+    def test_reader_refreshes_to_see_later_segments(self, tmp_path):
+        publish_intern_table(tmp_path, [IntAttr(1, i32)])
+        table = SharedInternTable.open(tmp_path)
+        late = ArrayAttr((IntAttr(41), IntAttr(42), IntAttr(43)))
+        publish_intern_table(tmp_path, [late])
+        # resolve() refreshes once on an index miss.
+        assert table.resolve(attribute_digest(late)) is late
+        table.close()
+
+    def test_foreign_and_truncated_segments_are_skipped(self, tmp_path):
+        publish_intern_table(tmp_path, [_compound()])
+        (tmp_path / "seg-notatable.bin").write_bytes(b"garbage")
+        (tmp_path / "seg-empty.bin").write_bytes(b"")
+        table = SharedInternTable.open(tmp_path)
+        assert len(table) > 0  # real segment still indexed
+        assert table.resolve(attribute_digest(_compound())) is _compound()
+        table.close()
+
+
+class TestReferencePickling:
+    def test_references_shrink_compound_attribute_pickles(self, tmp_path):
+        attr = _compound()
+        full = pickle.dumps(attr)
+        publish_intern_table(tmp_path, [attr])
+        with activated_table(SharedInternTable.open(tmp_path)):
+            ref = pickle.dumps(attr)
+            assert len(ref) < len(full)
+            # Loading in the same process round-trips to the canonical.
+            assert pickle.loads(ref) is attr
+
+    def test_reference_load_preserves_identity_in_cold_process(self, tmp_path):
+        attr = _compound()
+        publish_intern_table(tmp_path, [attr])
+        with activated_table(SharedInternTable.open(tmp_path)):
+            ref = pickle.dumps(attr)
+        with scratch_interner():
+            with activated_table(SharedInternTable.open(tmp_path)):
+                loaded = pickle.loads(ref)
+                assert loaded is _compound()
+
+    def test_trivial_scalars_stay_inline(self, tmp_path):
+        # A short StringAttr pickles smaller than a reference, so no table
+        # reduction is emitted for it even with a table active.
+        publish_intern_table(tmp_path, [StringAttr("x"), _compound()])
+        with activated_table(SharedInternTable.open(tmp_path)):
+            assert table_reduce(StringAttr("x")) is None
+            assert table_reduce(_compound()) is not None
+
+    def test_reference_blob_fails_cleanly_without_table(self, tmp_path):
+        attr = _compound()
+        publish_intern_table(tmp_path, [attr])
+        with activated_table(SharedInternTable.open(tmp_path)):
+            ref = pickle.dumps(attr)
+        assert active_table() is None
+        with pytest.raises(pickle.UnpicklingError):
+            pickle.loads(ref)
+        with pytest.raises(pickle.UnpicklingError):
+            resolve_shared(attribute_digest(attr))
+
+    def test_cache_degrades_to_miss_on_unresolvable_reference(self, tmp_path):
+        """A cache blob full of table references read by a process without
+        the table is an error + miss (recompile), never corruption."""
+        attr = _compound()
+        key = CacheKey(module_hash="shared-intern")
+        publish_intern_table(tmp_path / "table", [attr])
+        cache = CompileCache(tmp_path / "cache")
+        with activated_table(SharedInternTable.open(tmp_path / "table")):
+            cache.put(key, "middle-end", attr)
+        reader = CompileCache(tmp_path / "cache")
+        assert active_table() is None
+        assert reader.get(key, "middle-end") is None
+        assert reader.stats.errors == 1
+        assert reader.stats.misses.get("middle-end", 0) == 1
+
+
+class TestFallbacks:
+    def test_open_missing_table_returns_none(self, tmp_path):
+        assert open_shared_table(tmp_path / "does-not-exist") is None
+        assert active_table() is None
+
+    def test_open_on_file_returns_none(self, tmp_path):
+        stale = tmp_path / "stale"
+        stale.write_text("not a directory")
+        assert open_shared_table(stale) is None
+
+    def test_resolve_unknown_digest_raises_keyerror(self, tmp_path):
+        publish_intern_table(tmp_path, [IntAttr(9)])
+        table = SharedInternTable.open(tmp_path)
+        with pytest.raises(KeyError):
+            table.resolve("ff" * 32)
+        with pytest.raises(KeyError):
+            table.resolve(b"\xff" * 8)  # unknown short reference
+        table.close()
+
+
+def _worker_resolve(path: str, digest: str) -> tuple[bool, str]:
+    """Resolve a digest in a genuinely separate process; report whether the
+    resolved attribute is identical to a locally-built equivalent."""
+    table = open_shared_table(path)
+    assert table is not None
+    resolved = table.resolve(digest)
+    return (resolved is _compound(), attribute_digest(resolved))
+
+
+def _worker_publish(path: str, seed: int) -> int:
+    return publish_intern_table(
+        path, [ArrayAttr((IntAttr(seed), IntAttr(seed + 1), StringAttr("w" * 24)))]
+    )
+
+
+class TestCrossProcess:
+    def test_pool_worker_resolves_against_published_table(self, tmp_path):
+        attr = _compound()
+        digest = attribute_digest(attr)
+        publish_intern_table(tmp_path, [attr])
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            outcomes = list(
+                pool.map(_worker_resolve, [str(tmp_path)] * 4, [digest] * 4)
+            )
+        for identical, worker_digest in outcomes:
+            assert identical
+            assert worker_digest == digest
+
+    def test_concurrent_publishers_do_not_tear(self, tmp_path):
+        """Publishers only ever add whole content-addressed segment files,
+        so a table written from many processes is the readable union."""
+        with ProcessPoolExecutor(max_workers=4) as pool:
+            written = list(
+                pool.map(_worker_publish, [str(tmp_path)] * 8, range(0, 800, 100))
+            )
+        assert all(count >= 1 for count in written)
+        table = SharedInternTable.open(tmp_path)
+        for seed in range(0, 800, 100):
+            expected = ArrayAttr(
+                (IntAttr(seed), IntAttr(seed + 1), StringAttr("w" * 24))
+            )
+            assert table.resolve(attribute_digest(expected)) is expected
+        table.close()
