@@ -1,0 +1,184 @@
+"""Soak benchmark for the compile-service front door.
+
+~32 concurrent clients fire a mixed warm/cold request schedule at one
+served process and the run must demonstrate the service's two headline
+properties *under load*, with real counters:
+
+* **single-flight**: a 32-client thundering herd on one cold spec runs
+  exactly one compile — the cache-miss counter after the herd equals the
+  miss count of one solo cold compile;
+* **warm worker-free fast path**: warm-hit requests never enqueue work on
+  the compile executor (the pool's submit counter is rigged to count).
+
+Latency percentiles (p50/p99 for warm hits and for the whole soak) and
+the coalesced ratio land in ``BENCH_service.json`` — a trajectory
+artifact uploaded by CI, so the front door's behaviour is tracked over
+time rather than asserted once.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import statistics
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.compile_cache import CompileCache
+from repro.evaluation.harness import EvaluationHarness
+from repro.fpga.device import ALVEO_U280
+from repro.service import ServiceClient, ServiceThread, parse_request
+
+_RECORD: dict[str, object] = {}
+
+CLIENTS = 32
+HERD_SPEC = {"kernel": "pw_advection", "size": "8M", "repeats": 1}
+#: The cold tail of the mixed schedule: distinct, deliberately cheap
+#: specs (baseline frameworks) so the soak exercises admission + distinct
+#: flights without multiplying Stencil-HMLS compile time into the suite.
+COLD_SPECS = [
+    {"kernel": "pw_advection", "size": "8M", "frameworks": ["DaCe"], "repeats": 1},
+    {"kernel": "pw_advection", "size": "8M", "frameworks": ["Vitis HLS"], "repeats": 1},
+    {"kernel": "tracer_advection", "size": "8M", "frameworks": ["DaCe"], "repeats": 1},
+]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def bench_artifact():
+    """Collect per-test measurements and write the trajectory artifact."""
+    yield _RECORD
+    path = Path(os.environ.get("BENCH_SERVICE_JSON", "BENCH_service.json"))
+    path.write_text(json.dumps(_RECORD, indent=2, sort_keys=True) + "\n")
+
+
+class CountingPool:
+    """A ThreadPoolExecutor wrapper that counts every submit()."""
+
+    def __init__(self, pool):
+        self.pool = pool
+        self.submitted = 0
+        self._lock = threading.Lock()
+
+    def submit(self, *args, **kwargs):
+        with self._lock:
+            self.submitted += 1
+        return self.pool.submit(*args, **kwargs)
+
+
+def _percentiles(samples):
+    ordered = sorted(samples)
+    return {
+        "p50_ms": round(statistics.median(ordered) * 1e3, 3),
+        "p99_ms": round(ordered[min(len(ordered) - 1, int(len(ordered) * 0.99))] * 1e3, 3),
+        "max_ms": round(ordered[-1] * 1e3, 3),
+        "samples": len(ordered),
+    }
+
+
+def test_soak_32_clients_single_flight_and_worker_free_warm_hits(tmp_path):
+    # Control: how many cache misses does exactly one solo cold compile
+    # of the herd spec cost?  (The acceptance bar for the whole herd.)
+    control_cache = CompileCache(tmp_path / "control")
+    control = EvaluationHarness(device=ALVEO_U280, repeats=1, cache=control_cache)
+    control.run_matrix(cases=parse_request(HERD_SPEC).cases())
+    one_compile_misses = control_cache.stats.total_misses
+
+    cache = CompileCache(tmp_path / "cache")
+    with ServiceThread(cache=cache, max_inflight=8) as server:
+        service = server.service
+        pool = CountingPool(service._compile_pool)
+        service._compile_pool = pool
+
+        # ---- Phase 1: thundering herd (all 32 clients, one cold spec) ----
+        latencies = [None] * CLIENTS
+        outs = [None] * CLIENTS
+        barrier = threading.Barrier(CLIENTS)
+
+        def herd(i):
+            client = ServiceClient("127.0.0.1", server.port)
+            barrier.wait(timeout=60)
+            start = time.perf_counter()
+            outs[i] = client.compile_with_retry(HERD_SPEC)
+            latencies[i] = time.perf_counter() - start
+
+        threads = [threading.Thread(target=herd, args=(i,)) for i in range(CLIENTS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+
+        # Single-flight, by real counters: the herd cost exactly one cold
+        # compile's worth of cache misses and one compiled case.
+        assert cache.stats.total_misses == one_compile_misses
+        assert service.stats.cases_compiled == 1
+        herd_dispatches = pool.submitted
+        assert herd_dispatches == 1
+        # Every client saw the same final result set.
+        finals = {json.dumps(o["complete"]["results"], sort_keys=True) for o in outs}
+        assert len(finals) == 1
+        coalesced_ratio = service.table.coalesced / CLIENTS
+        herd_misses = cache.stats.total_misses
+        herd_compiles = service.stats.cases_compiled
+
+        # ---- Phase 2: mixed warm/cold soak ----
+        # Warm clients re-request the herd spec; cold clients bring new
+        # distinct specs.  Warm requests must stay off the executor.
+        mixed_outs = [None] * CLIENTS
+        mixed_lat = [None] * CLIENTS
+        warm_clients = CLIENTS - len(COLD_SPECS)
+        schedule = [HERD_SPEC] * warm_clients + COLD_SPECS
+        barrier2 = threading.Barrier(CLIENTS)
+
+        def soak(i):
+            client = ServiceClient("127.0.0.1", server.port)
+            barrier2.wait(timeout=60)
+            start = time.perf_counter()
+            mixed_outs[i] = client.compile_with_retry(schedule[i])
+            mixed_lat[i] = time.perf_counter() - start
+
+        threads = [threading.Thread(target=soak, args=(i,)) for i in range(CLIENTS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=300)
+
+        # Worker-free warm hits: dispatches grew only for the cold specs.
+        assert pool.submitted - herd_dispatches <= len(COLD_SPECS)
+        warm_hits = [
+            (out, lat)
+            for out, lat in zip(mixed_outs, mixed_lat)
+            if out["accepted"]["warm"]
+        ]
+        assert len(warm_hits) >= warm_clients  # every warm client hit warm
+        assert all(out["complete"]["ok"] for out in mixed_outs)
+
+        stats = service.stats
+        _RECORD["service_soak"] = {
+            "clients": CLIENTS,
+            "herd": {
+                "latency": _percentiles(latencies),
+                "coalesced_ratio": round(coalesced_ratio, 4),
+                "compiles": herd_compiles,
+                "cache_misses": herd_misses,
+                "one_solo_compile_misses": one_compile_misses,
+                "dispatches": herd_dispatches,
+            },
+            "mixed": {
+                "latency": _percentiles(mixed_lat),
+                "warm_latency": _percentiles([lat for _, lat in warm_hits]),
+                "warm_hits": len(warm_hits),
+                "cold_dispatches": pool.submitted - herd_dispatches,
+                "shed": stats.shed,
+            },
+            "totals": {
+                "requests": stats.requests,
+                "warm_requests": stats.warm_requests,
+                "coalesced": service.table.coalesced,
+                "led": service.table.led,
+                "cases_streamed": stats.cases_streamed,
+                "cache_probes": cache.stats.probes,
+            },
+        }

@@ -8,6 +8,10 @@
 * ``shmls-orchestrate`` — plan, shard and run the scenario matrix across
   workers with prefix-aware scheduling, streaming JSONL progress and a
   resumability manifest (see ``docs/orchestration.md``).
+* ``shmls-serve`` — the compile-as-a-service front door: an asyncio HTTP
+  server streaming per-case results as JSONL, answering warm requests
+  straight from the cache, coalescing identical in-flight requests and
+  shedding load past a bounded in-flight queue (see ``docs/service.md``).
 """
 
 from __future__ import annotations
@@ -148,6 +152,12 @@ def main_orchestrate(argv: list[str] | None = None) -> int:
     from repro.evaluation import orchestrator
 
     return orchestrator.main(argv)
+
+
+def main_serve(argv: list[str] | None = None) -> int:
+    from repro.service import server
+
+    return server.main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

@@ -302,6 +302,9 @@ class CacheStats:
     misses: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     stores: dict[str, int] = field(default_factory=lambda: defaultdict(int))
     errors: int = 0
+    #: Presence checks answered by :meth:`CompileCache.probe` (which never
+    #: touch the hit/miss counters — they restore nothing).
+    probes: int = 0
     #: Entries removed by :meth:`CompileCache.gc` and the bytes they held.
     evicted_entries: int = 0
     evicted_bytes: int = 0
@@ -326,6 +329,7 @@ class CacheStats:
             "hits": self.total_hits,
             "misses": self.total_misses,
             "errors": self.errors,
+            "probes": self.probes,
             "evicted_entries": self.evicted_entries,
             "evicted_bytes": self.evicted_bytes,
             "disk_bytes": self.disk_bytes,
@@ -409,6 +413,12 @@ class CompileCache:
         #: Incremental on-disk footprint; ``None`` until the first
         #: ``disk_bytes()``/``gc()`` rescan establishes the baseline.
         self._disk_bytes_counter: int | None = None
+        #: One instance may be shared by several threads (the compile
+        #: service runs request compiles on an executor while its event
+        #: loop probes/serves warm hits): the memory tier, the stats
+        #: counters and the incremental byte counter mutate under this
+        #: lock.  Disk/remote tiers were already multi-process safe.
+        self._lock = threading.RLock()
         self.stats = CacheStats()
 
     # -- paths ----------------------------------------------------------------
@@ -452,14 +462,45 @@ class CompileCache:
         every hit decodes to fresh private objects.
         """
         digest = key.digest(stage)
-        value = (
-            self._get_mapped(digest) if self.fmt == "mapped" else self._get_pickle(digest)
-        )
-        if value is None:
-            self.stats.misses[stage] += 1
-            return None
-        self.stats.hits[stage] += 1
+        with self._lock:
+            value = (
+                self._get_mapped(digest) if self.fmt == "mapped" else self._get_pickle(digest)
+            )
+            if value is None:
+                self.stats.misses[stage] += 1
+                return None
+            self.stats.hits[stage] += 1
         return rehydrate(value) if rehydrate is not None else value
+
+    def probe(self, key: CacheKey, stage: str) -> bool:
+        """Hit check *without restoring*: is the artefact in any tier?
+
+        Nothing is unpickled, decoded or promoted between tiers, and the
+        hit/miss counters are untouched — so a front-door service can
+        answer "would this request be warm?" (admission control, the
+        cache fast path) without paying a restore or skewing the stats
+        that record real serves.  Probes are counted separately.
+
+        >>> cache = CompileCache()
+        >>> key = CacheKey(module_hash="abc")
+        >>> cache.probe(key, "result")
+        False
+        >>> cache.put(key, "result", {"mpts": 2.0})
+        >>> cache.probe(key, "result")
+        True
+        >>> cache.stats.total_hits, cache.stats.total_misses
+        (0, 0)
+        """
+        digest = key.digest(stage)
+        with self._lock:
+            self.stats.probes += 1
+            if digest in self._memory:
+                return True
+        if self.cache_dir is not None and self._path(digest).is_file():
+            return True
+        if self.remote_dir is not None and self._remote_path(digest).is_file():
+            return True
+        return False
 
     def _get_pickle(self, digest: str) -> Any | None:
         value: Any | None = None
@@ -571,42 +612,43 @@ class CompileCache:
         rename — the shared remote directory.
         """
         digest = key.digest(stage)
-        if self.fmt == "mapped":
-            try:
-                blob = encode_mapped(value)
-            except Exception:
-                # Unencodable artefacts cannot be stored in this format.
-                self.stats.errors += 1
-                return
-            self._memory[digest] = MappedBlob(blob)
-            self.stats.stores[stage] += 1
-        else:
-            blob = None
-            if isolate:
+        with self._lock:
+            if self.fmt == "mapped":
                 try:
-                    blob = self._dumps(value)
+                    blob = encode_mapped(value)
                 except Exception:
-                    # Unpicklable artefacts cannot be isolated: skip the store.
+                    # Unencodable artefacts cannot be stored in this format.
                     self.stats.errors += 1
                     return
-                value = _LazyBlob(blob)
-            self._memory[digest] = value
-            self.stats.stores[stage] += 1
-            if self.cache_dir is None and self.remote_dir is None:
-                return
-            if blob is None:
-                try:
-                    blob = self._dumps(value)
-                except Exception:
-                    # Unpicklable artefacts stay memory-tier only.
-                    self.stats.errors += 1
+                self._memory[digest] = MappedBlob(blob)
+                self.stats.stores[stage] += 1
+            else:
+                blob = None
+                if isolate:
+                    try:
+                        blob = self._dumps(value)
+                    except Exception:
+                        # Unpicklable artefacts cannot be isolated: skip the store.
+                        self.stats.errors += 1
+                        return
+                    value = _LazyBlob(blob)
+                self._memory[digest] = value
+                self.stats.stores[stage] += 1
+                if self.cache_dir is None and self.remote_dir is None:
                     return
-        if self.cache_dir is not None:
-            self._write_local(self._path(digest), blob)
-        if self.remote_dir is not None and self._write_atomic(
-            self._remote_path(digest), blob
-        ):
-            self.stats.remote_stores += 1
+                if blob is None:
+                    try:
+                        blob = self._dumps(value)
+                    except Exception:
+                        # Unpicklable artefacts stay memory-tier only.
+                        self.stats.errors += 1
+                        return
+            if self.cache_dir is not None:
+                self._write_local(self._path(digest), blob)
+            if self.remote_dir is not None and self._write_atomic(
+                self._remote_path(digest), blob
+            ):
+                self.stats.remote_stores += 1
 
     def _write_local(self, path: Path, blob: bytes) -> bool:
         """Write to the local disk tier, keeping the incremental byte
@@ -672,10 +714,13 @@ class CompileCache:
         """
         if self.cache_dir is None:
             return 0
-        if self._disk_bytes_counter is None:
-            self._disk_bytes_counter = sum(size for _, size, _ in self._disk_entries())
-        self.stats.disk_bytes = self._disk_bytes_counter
-        return self._disk_bytes_counter
+        with self._lock:
+            if self._disk_bytes_counter is None:
+                self._disk_bytes_counter = sum(
+                    size for _, size, _ in self._disk_entries()
+                )
+            self.stats.disk_bytes = self._disk_bytes_counter
+            return self._disk_bytes_counter
 
     def gc(self, max_bytes: int) -> int:
         """Evict least-recently-used disk entries until ≤ ``max_bytes`` remain.
@@ -692,6 +737,10 @@ class CompileCache:
             raise ValueError(f"max_bytes must be >= 0, got {max_bytes}")
         if self.cache_dir is None:
             return 0
+        with self._lock:
+            return self._gc_locked(max_bytes)
+
+    def _gc_locked(self, max_bytes: int) -> int:
         entries = self._disk_entries()
         total = sum(size for _, size, _ in entries)
         evicted = 0
@@ -715,10 +764,11 @@ class CompileCache:
 
     def clear_memory(self) -> None:
         """Drop the in-memory tier (the disk tier, if any, stays)."""
-        for value in self._memory.values():
-            if isinstance(value, MappedBlob):
-                value.close()
-        self._memory.clear()
+        with self._lock:
+            for value in self._memory.values():
+                if isinstance(value, MappedBlob):
+                    value.close()
+            self._memory.clear()
 
     def __len__(self) -> int:
         return len(self._memory)

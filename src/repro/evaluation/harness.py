@@ -23,6 +23,7 @@ matrix* runner:
 from __future__ import annotations
 
 import statistics
+import threading
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Sequence, Type
@@ -338,23 +339,30 @@ class EvaluationHarness:
     intern_table: str | None = None
     _module_cache: dict[tuple[str, tuple[int, int, int]], ModuleOp] = field(default_factory=dict)
     _hash_cache: dict[tuple[str, tuple[int, int, int]], str] = field(default_factory=dict)
+    #: The compile service shares one harness between its event loop and
+    #: its compile-executor threads; the module/hash memos mutate under
+    #: this lock so a concurrent request can never observe (or race to
+    #: fill) a half-built entry.
+    _lock: threading.RLock = field(default_factory=threading.RLock, repr=False)
 
     # -- module construction -------------------------------------------------------
 
     def build_module(self, kernel: str, shape: tuple[int, int, int]) -> ModuleOp:
         key = (kernel, tuple(shape))
-        if key not in self._module_cache:
-            builder = KERNEL_BUILDERS.get(kernel)
-            if builder is None:
-                raise KeyError(f"unknown kernel '{kernel}' (known: {', '.join(KERNEL_BUILDERS)})")
-            self._module_cache[key] = builder(shape)
-        return self._module_cache[key]
+        with self._lock:
+            if key not in self._module_cache:
+                builder = KERNEL_BUILDERS.get(kernel)
+                if builder is None:
+                    raise KeyError(f"unknown kernel '{kernel}' (known: {', '.join(KERNEL_BUILDERS)})")
+                self._module_cache[key] = builder(shape)
+            return self._module_cache[key]
 
     def module_hash_for(self, kernel: str, shape: tuple[int, int, int]) -> str:
         key = (kernel, tuple(shape))
-        if key not in self._hash_cache:
-            self._hash_cache[key] = module_hash(self.build_module(kernel, shape))
-        return self._hash_cache[key]
+        with self._lock:
+            if key not in self._hash_cache:
+                self._hash_cache[key] = module_hash(self.build_module(kernel, shape))
+            return self._hash_cache[key]
 
     # -- single case ------------------------------------------------------------------
 

@@ -52,6 +52,7 @@ import os
 import pickle
 import struct
 import tempfile
+import threading
 from pathlib import Path
 from typing import TYPE_CHECKING, Any, Iterable, Iterator
 
@@ -109,26 +110,31 @@ class AttributeInterner:
     the candidate (stamping its precomputed ``_hash``) and returns it.
     """
 
-    __slots__ = ("_table", "stats")
+    __slots__ = ("_table", "stats", "_lock")
 
     def __init__(self) -> None:
         self._table: dict[tuple, "Attribute"] = {}
         self.stats = InternStats()
+        # Identity equality relies on one canonical instance per structural
+        # key; without the lock, two threads compiling concurrently (the
+        # service's executor) could both miss and publish rival canonicals.
+        self._lock = threading.Lock()
 
     def intern(self, attr: "Attribute") -> "Attribute":
         from repro.ir.core import Attribute
 
         key = (type(attr), Attribute._hashable(attr.parameters()))
-        existing = self._table.get(key)
-        if existing is not None:
-            self.stats.hits += 1
-            return existing
-        self.stats.misses += 1
-        # Stamp the precomputed hash before publication: every consumer of
-        # the canonical instance sees an O(1) __hash__.
-        attr.__dict__["_hash"] = hash(key)
-        self._table[key] = attr
-        return attr
+        with self._lock:
+            existing = self._table.get(key)
+            if existing is not None:
+                self.stats.hits += 1
+                return existing
+            self.stats.misses += 1
+            # Stamp the precomputed hash before publication: every consumer
+            # of the canonical instance sees an O(1) __hash__.
+            attr.__dict__["_hash"] = hash(key)
+            self._table[key] = attr
+            return attr
 
     def canonical(self) -> list["Attribute"]:
         """All canonical instances currently interned (insertion order)."""

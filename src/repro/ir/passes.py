@@ -88,12 +88,18 @@ class ModulePass:
         return {}
 
     def describe(self) -> str:
-        """This pass as one entry of a textual pipeline spec."""
+        """This pass as one entry of a textual pipeline spec.
+
+        Options render key-sorted: ``{split=0,pack=0}`` and
+        ``{pack=0,split=0}`` are the same configuration, so they must
+        canonicalise (and therefore cache-key) identically.
+        """
         options = self.pipeline_options()
         if not options:
             return self.name
         rendered = ",".join(
-            f"{key}={format_option_value(value)}" for key, value in options.items()
+            f"{key}={format_option_value(value)}"
+            for key, value in sorted(options.items())
         )
         return f"{self.name}{{{rendered}}}"
 

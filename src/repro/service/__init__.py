@@ -1,0 +1,71 @@
+"""Compile-as-a-service front door.
+
+The batch toolchain's primitives — streaming ``run_matrix(on_result=…)``,
+result-stage :class:`~repro.core.compile_cache.CacheKey` digests, the
+resumability manifest format and the tiered
+:class:`~repro.core.compile_cache.CompileCache` — assembled into a
+long-lived asyncio service (``shmls-serve``):
+
+* :mod:`repro.service.spec` — canonical request specs: what a client
+  POSTs, canonicalised so field/option/list order can never change the
+  request's content address;
+* :mod:`repro.service.singleflight` — the in-flight table coalescing
+  identical requests into one compile whose events fan out to every
+  waiter;
+* :mod:`repro.service.server` — the HTTP + JSONL-streaming front door
+  (warm cache fast path, admission control, manifest resume);
+* :mod:`repro.service.client` — a thin blocking client used by the
+  tests, the benchmarks and the CI smoke drivers.
+
+See ``docs/service.md`` for the protocol and a two-client walkthrough.
+"""
+
+from repro.service.client import (
+    RequestFailed,
+    RequestRejected,
+    ServiceClient,
+    ServiceError,
+    ServiceSaturated,
+    StreamInterrupted,
+    wait_for_service,
+)
+from repro.service.singleflight import Flight, SingleFlightTable
+from repro.service.spec import (
+    RequestSpec,
+    RequestSpecError,
+    parse_request,
+    request_digest,
+)
+
+#: The server pulls in the whole evaluation stack, and importing it
+#: eagerly here would also shadow `python -m repro.service.server`
+#: (runpy warns about re-executing an already-imported module) — so its
+#: two public names load lazily on first attribute access.
+_SERVER_EXPORTS = ("CompileService", "ServiceThread")
+
+
+def __getattr__(name: str):
+    if name in _SERVER_EXPORTS:
+        from repro.service import server
+
+        return getattr(server, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+__all__ = [
+    "CompileService",
+    "Flight",
+    "RequestFailed",
+    "RequestRejected",
+    "RequestSpec",
+    "RequestSpecError",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceSaturated",
+    "ServiceThread",
+    "SingleFlightTable",
+    "StreamInterrupted",
+    "parse_request",
+    "request_digest",
+    "wait_for_service",
+]

@@ -1,0 +1,136 @@
+"""Single-flight coalescing for identical in-flight requests.
+
+The table maps a request's content address (:func:`~repro.service.spec.
+request_digest`) to the one :class:`Flight` doing the work.  The first
+joiner becomes the *leader* and runs the compile; every later joiner
+subscribes to the same flight and receives the identical event sequence
+— buffered events are replayed first, then live ones — so N coalesced
+clients stream byte-identical result sets while exactly one compile
+runs.
+
+The table is an asyncio-native, loop-confined object: every method must
+be called from the event-loop thread (the server bridges executor-thread
+callbacks through ``loop.call_soon_threadsafe``), so no locks are
+needed and there is no window in which a finished flight could be joined.
+
+A flight that *fails* publishes a terminal error event to every waiter
+and leaves the table just like a successful one: the in-flight table can
+never wedge on an exception, and the next identical request starts a
+fresh flight.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any
+
+
+#: A queue entry signalling "no more events" to a subscriber.
+_DONE = None
+
+
+@dataclass
+class Flight:
+    """One in-flight request and its fan-out state."""
+
+    key: str
+    #: Every event published so far (replayed to late subscribers).
+    events: list[dict[str, Any]] = field(default_factory=list)
+    #: Live subscriber queues (one per streaming client).
+    _queues: list[asyncio.Queue] = field(default_factory=list)
+    #: How many requests this flight served (leader included).
+    joiners: int = 1
+    done: bool = False
+    #: Terminal error message ('' = completed normally).
+    error: str = ""
+
+    def subscribe(self) -> asyncio.Queue:
+        """A queue yielding this flight's events: all buffered ones first,
+        then live ones, then a ``None`` sentinel once the flight is done."""
+        queue: asyncio.Queue = asyncio.Queue()
+        for event in self.events:
+            queue.put_nowait(event)
+        if self.done:
+            queue.put_nowait(_DONE)
+        else:
+            self._queues.append(queue)
+        return queue
+
+    def publish(self, event: dict[str, Any]) -> None:
+        """Record ``event`` and push it to every live subscriber."""
+        if self.done:
+            raise RuntimeError(f"flight {self.key[:12]} already finished")
+        self.events.append(event)
+        for queue in self._queues:
+            queue.put_nowait(event)
+
+    def finish(self, error: str = "") -> None:
+        """Mark the flight done (``error`` non-empty = failed) and release
+        every subscriber.  Idempotent."""
+        if self.done:
+            return
+        self.done = True
+        self.error = error
+        for queue in self._queues:
+            queue.put_nowait(_DONE)
+        self._queues.clear()
+
+
+class SingleFlightTable:
+    """The in-flight request table (loop-confined; see module docstring).
+
+    >>> import asyncio
+    >>> async def demo():
+    ...     table = SingleFlightTable()
+    ...     flight, leader = table.join("digest-a")
+    ...     again, leader2 = table.join("digest-a")
+    ...     assert flight is again and leader and not leader2
+    ...     table.finish(flight)
+    ...     fresh, leader3 = table.join("digest-a")
+    ...     return flight is not fresh and leader3
+    >>> asyncio.run(demo())
+    True
+    """
+
+    def __init__(self) -> None:
+        self._flights: dict[str, Flight] = {}
+        #: Lifetime counters surfaced by the server's /stats endpoint.
+        self.led = 0
+        self.coalesced = 0
+
+    def join(self, key: str) -> tuple[Flight, bool]:
+        """The flight for ``key`` and whether the caller leads it.
+
+        A leader is responsible for eventually calling :meth:`finish`
+        (directly or through the server's compile task) — even on error —
+        or the key would stay in-flight forever.
+        """
+        flight = self._flights.get(key)
+        if flight is not None:
+            flight.joiners += 1
+            self.coalesced += 1
+            return flight, False
+        flight = Flight(key=key)
+        self._flights[key] = flight
+        self.led += 1
+        return flight, True
+
+    def abandon(self, flight: Flight) -> None:
+        """Remove a flight that never ran (admission shed before launch):
+        later identical requests must start fresh, not wait forever."""
+        self.led -= 1
+        if self._flights.get(flight.key) is flight:
+            del self._flights[flight.key]
+
+    def finish(self, flight: Flight, error: str = "") -> None:
+        """Finish ``flight`` and drop it from the in-flight table."""
+        flight.finish(error)
+        if self._flights.get(flight.key) is flight:
+            del self._flights[flight.key]
+
+    def get(self, key: str) -> Flight | None:
+        return self._flights.get(key)
+
+    def __len__(self) -> int:
+        return len(self._flights)

@@ -323,3 +323,113 @@ def test_expression_queries_are_consistent(expr):
     assert expr.max_radius() <= 1
     assert expr.count_flops() >= 0
     assert len(expr.accesses()) >= 0
+
+
+# ---------------------------------------------------------------------------
+# Service request-spec canonicalisation invariants
+# ---------------------------------------------------------------------------
+
+from repro.evaluation.harness import (  # noqa: E402
+    KERNEL_SIZES,
+    PIPELINE_VARIANTS,
+    EvaluationHarness,
+    FRAMEWORKS_BY_NAME,
+)
+from repro.service.singleflight import SingleFlightTable  # noqa: E402
+from repro.service.spec import parse_request, request_digest  # noqa: E402
+
+#: One module-level harness so kernel modules are built/hashed once and
+#: every hypothesis example after the first is cheap.
+_SPEC_HARNESS = EvaluationHarness(repeats=1)
+
+
+@st.composite
+def service_request_payloads(draw):
+    """A valid request payload plus a field/list permutation of itself."""
+    kernels = draw(
+        st.lists(st.sampled_from(sorted(KERNEL_SIZES)), min_size=1, max_size=2, unique=True)
+    )
+    size_pool = sorted({s for k in kernels for s in KERNEL_SIZES[k]})
+    sizes = draw(st.lists(st.sampled_from(size_pool), min_size=1, max_size=2, unique=True))
+    frameworks = draw(
+        st.lists(st.sampled_from(sorted(FRAMEWORKS_BY_NAME)), max_size=3, unique=True)
+    )
+    variants = draw(
+        st.lists(st.sampled_from(sorted(PIPELINE_VARIANTS)), max_size=2, unique=True)
+    )
+    if any(v != "default" for v in variants) and frameworks and (
+        "Stencil-HMLS" not in frameworks
+    ):
+        frameworks.append("Stencil-HMLS")
+
+    def payload():
+        fields = {}
+        # Each list field independently: permuted order, duplicated
+        # entries, and a singular alias when it holds one value.
+        for singular, plural, values in (
+            ("kernel", "kernels", kernels),
+            ("size", "sizes", sizes),
+            ("framework", "frameworks", frameworks),
+            ("variant", "variants", variants),
+        ):
+            if not values:
+                continue
+            shuffled = draw(st.permutations(values))
+            if draw(st.booleans()):
+                shuffled = shuffled + [draw(st.sampled_from(values))]
+            if len(shuffled) == 1 and draw(st.booleans()):
+                fields[singular] = shuffled[0]
+            else:
+                fields[plural] = shuffled
+        # JSON object key order is also part of the permutation space.
+        keys = draw(st.permutations(sorted(fields)))
+        return {key: fields[key] for key in keys}
+
+    return payload(), payload()
+
+
+@settings(max_examples=25, deadline=None)
+@given(payloads=service_request_payloads())
+def test_request_canonicalisation_is_order_insensitive(payloads):
+    """Permuting field order, list order and singular/plural spelling (plus
+    duplicate list entries) never changes the parsed spec, its CacheKey
+    digests or its request digest — so the single-flight table coalesces
+    the permutations onto one flight."""
+    first, second = payloads
+    spec_a, spec_b = parse_request(first), parse_request(second)
+    assert spec_a == spec_b
+    keys_a = [k.digest("result") for k in spec_a.result_keys(_SPEC_HARNESS)]
+    keys_b = [k.digest("result") for k in spec_b.result_keys(_SPEC_HARNESS)]
+    assert keys_a == keys_b
+    digest_a = request_digest(spec_a, _SPEC_HARNESS)
+    digest_b = request_digest(spec_b, _SPEC_HARNESS)
+    assert digest_a == digest_b
+
+    # Digest equality is exactly the coalescing condition.
+    table = SingleFlightTable()
+    flight, leader = table.join(digest_a)
+    joined, follower = table.join(digest_b)
+    assert flight is joined and leader and not follower
+
+
+@settings(max_examples=25, deadline=None)
+@given(payloads=service_request_payloads())
+def test_request_spec_round_trips_through_its_canonical_json(payloads):
+    """parse(spec.as_dict()) is the identity on canonical specs — the JSON
+    the server echoes back re-parses to the very same request."""
+    spec = parse_request(payloads[0])
+    assert parse_request(spec.as_dict()) == spec
+
+
+def test_raw_pipeline_spec_brace_option_order_is_canonicalised():
+    """Raw textual pipeline variants with permuted {…} options parse to
+    the same spec and the same digest (describe() renders key-sorted)."""
+    base = {"kernel": "pw_advection", "size": "8M"}
+    a = parse_request(
+        {**base, "variant": "convert-stencil-to-hls{split=0,pack=0},convert-hls-to-llvm"}
+    )
+    b = parse_request(
+        {**base, "variant": "convert-stencil-to-hls{pack=0,split=0},convert-hls-to-llvm"}
+    )
+    assert a == b
+    assert request_digest(a, _SPEC_HARNESS) == request_digest(b, _SPEC_HARNESS)
