@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from repro.core.plan import InterfaceSpec
 from repro.dialects.builtin import ModuleOp

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from repro.baselines.base import CompilationFailure, Framework, FrameworkArtifact
 from repro.dialects.builtin import ModuleOp
-from repro.fpga.device import FPGADevice
 from repro.fpga.hbm import HBMAllocationError, HBMAllocator
 from repro.fpga.resource_model import ResourceUsage, estimate_loop_kernel
 from repro.fpga.synthesis import KernelDesign, StageTiming

@@ -12,6 +12,9 @@
   server streaming per-case results as JSONL, answering warm requests
   straight from the cache, coalescing identical in-flight requests and
   shedding load past a bounded in-flight queue (see ``docs/service.md``).
+* ``shmls-lint`` — semantic lint over kernels, planned sweeps and the
+  seeded-defect diagnostics corpus (``--verify-diagnostics``); exit code
+  distinguishes clean/warnings/errors (see ``docs/analysis.md``).
 """
 
 from __future__ import annotations
@@ -25,7 +28,7 @@ from repro.ir.interning import open_shared_table, publish_intern_table
 from repro.core.pipeline import StencilHMLSCompiler
 from repro.ir.pass_registry import PipelineParseError
 from repro.evaluation import report as report_module
-from repro.fpga.device import ALVEO_U280, VCK5000, device_by_name
+from repro.fpga.device import device_by_name
 from repro.ir.printer import print_module
 from repro.kernels.grids import PW_ADVECTION_SIZES, TRACER_ADVECTION_SIZES
 from repro.kernels.pw_advection import build_pw_advection
@@ -130,6 +133,9 @@ def main_compile(argv: list[str] | None = None) -> int:
             if stat.note:
                 status += f" ({stat.note})"
             print(f"  {stat.name:<44} {stat.seconds * 1e3:9.3f} ms  {status}")
+        if compiler.analysis_statistics is not None:
+            for line in compiler.analysis_statistics.summary_lines():
+                print(line)
         if cache is not None:
             cache.disk_bytes()
             for line in cache.stats.summary_lines():
@@ -158,6 +164,12 @@ def main_serve(argv: list[str] | None = None) -> int:
     from repro.service import server
 
     return server.main(argv)
+
+
+def main_lint(argv: list[str] | None = None) -> int:
+    from repro.tools import lint
+
+    return lint.main(argv)
 
 
 if __name__ == "__main__":  # pragma: no cover - manual invocation helper

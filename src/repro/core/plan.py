@@ -10,7 +10,6 @@ resource/power models and the evaluation reports consume.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from typing import TYPE_CHECKING
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import math
 import operator
 from typing import Callable
 

@@ -13,7 +13,7 @@ from repro.ir.core import (
     SSAValue,
     VerifyException,
 )
-from repro.ir.attributes import StringAttr, TypeAttr, UnitAttr
+from repro.ir.attributes import StringAttr, TypeAttr
 from repro.ir.types import FunctionType
 
 

@@ -11,7 +11,6 @@ implemented as an extension in ``repro.transforms.hls_to_circt``).
 
 from __future__ import annotations
 
-from typing import Sequence
 
 from repro.ir.core import (
     Attribute,

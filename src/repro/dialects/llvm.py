@@ -17,14 +17,7 @@ from typing import Sequence
 
 from repro.ir.core import Attribute, IsTerminator, Operation, Pure, SSAValue, VerifyException
 from repro.ir.attributes import ArrayAttr, IntAttr, StringAttr, TypeAttr
-from repro.ir.types import (
-    LLVMArrayType,
-    LLVMPointerType,
-    LLVMStructType,
-    LLVMVoidType,
-    i32,
-    i64,
-)
+from repro.ir.types import LLVMPointerType, LLVMStructType, LLVMVoidType, i32, i64
 
 #: Name of the Vitis intrinsic that declares a stream's FIFO depth.
 SET_STREAM_DEPTH_INTRINSIC = "llvm.fpga.set.stream.depth"

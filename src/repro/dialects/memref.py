@@ -4,9 +4,9 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from repro.ir.core import Attribute, Operation, Pure, SSAValue, VerifyException
-from repro.ir.attributes import IntAttr, StringAttr, TypeAttr
-from repro.ir.types import IndexType, MemRefType, index
+from repro.ir.core import Operation, Pure, SSAValue, VerifyException
+from repro.ir.attributes import StringAttr, TypeAttr
+from repro.ir.types import MemRefType, index
 
 
 class AllocOp(Operation):

@@ -22,8 +22,8 @@ from repro.ir.core import (
     TypeAttribute,
     VerifyException,
 )
-from repro.ir.attributes import DenseIntArrayAttr, IntAttr, StringAttr
-from repro.ir.types import DYNAMIC, FloatType, MemRefType
+from repro.ir.attributes import DenseIntArrayAttr, IntAttr
+from repro.ir.types import DYNAMIC
 
 
 # ---------------------------------------------------------------------------

@@ -305,6 +305,49 @@ class OrchestrationPlan:
         return "\n".join(lines)
 
 
+def lint_plan(plan: OrchestrationPlan, device_name: str = ALVEO_U280.name) -> int:
+    """Lint every planned case and flag the doomed ones (``--dry-run``).
+
+    Cases are deduplicated by (kernel, size, variant) — the framework pin
+    changes only the performance model, not what gets compiled — and
+    share one :class:`~repro.ir.analysis.AnalysisManager`, so per-kernel
+    dataflow analyses are computed once per module fingerprint no matter
+    how many variants reuse it.  Returns 2 when any case is doomed (lint
+    errors), 1 for warnings only, 0 when the whole plan lints clean.
+    """
+    from repro.ir.analysis import AnalysisManager
+    from repro.tools.lint import lint_benchmark_case
+
+    device = device_by_name(device_name)
+    analyses = AnalysisManager()
+    seen: dict[tuple[str, str, str], Any] = {}
+    for shard in plan.shards:
+        for case in shard.cases:
+            key = (case.kernel, case.size.label, case.variant)
+            if key not in seen:
+                seen[key] = lint_benchmark_case(
+                    case.kernel, case.size.label, case.variant,
+                    device, analyses=analyses,
+                )
+    doomed: list[str] = []
+    warned = False
+    for (kernel, size, variant), engine in seen.items():
+        label = f"{kernel}/{size}@{variant}"
+        if engine.has_errors:
+            doomed.append(label)
+        warned = warned or engine.has_warnings
+        for line in engine.render_lines():
+            print(f"  lint {label}: {line}")
+    if doomed:
+        print(
+            f"lint: {len(doomed)} doomed case(s) out of {len(seen)} unique: "
+            + ", ".join(doomed)
+        )
+        return 2
+    print(f"lint: {len(seen)} unique case(s), none doomed")
+    return 1 if warned else 0
+
+
 def pin_cases(
     cases: Iterable[BenchmarkCase],
     frameworks: Sequence[str] | None = None,
@@ -1358,7 +1401,11 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--stream", action="store_true",
                         help="stream JSONL events to stdout while shards run")
     parser.add_argument("--dry-run", action="store_true",
-                        help="print the shard plan and exit without running")
+                        help="print the shard plan (plus a lint verdict per "
+                        "unique case) and exit without running")
+    parser.add_argument("--no-lint", action="store_true",
+                        help="skip the shmls-lint pass over the planned cases "
+                        "during --dry-run")
     parser.add_argument("--fresh", action="store_true",
                         help="ignore (and discard) the resume manifest in "
                         "--state-dir and re-run every case")
@@ -1413,7 +1460,11 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.dry_run:
         print(plan.describe())
-        return 0
+        if args.no_lint:
+            return 0
+        # Doomed cases (lint errors) make the dry run exit 2 so scripted
+        # sweeps can gate on it; warnings exit 1, a clean plan exits 0.
+        return lint_plan(plan, device_name=args.device)
 
     events = EventWriter(args.events, echo=args.stream)
 

@@ -11,7 +11,7 @@ timing, power and energy figures the evaluation section reports.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 import numpy as np

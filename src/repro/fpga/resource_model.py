@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.plan import DataflowPlan
-from repro.fpga.device import FPGADevice, ResourceAmounts
+from repro.fpga.device import FPGADevice
 
 
 @dataclass

@@ -20,20 +20,15 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.ir.core import Operation, VerifyException
+from repro.ir.core import Operation
 from repro.ir.attributes import IntAttr, StringAttr, UnitAttr
-from repro.ir.types import LLVMPointerType, LLVMStructType
+from repro.ir.types import LLVMStructType
 from repro.dialects import llvm as llvm_d, scf
 from repro.dialects.builtin import ModuleOp
 from repro.dialects.func import CallOp, FuncOp
 from repro.transforms.hls_to_llvm import (
-    ANNOTATION_PREFIX,
     ARRAY_PARTITION_PREFIX,
     DATAFLOW_ANNOTATION,
-    FIFO_EMPTY,
-    FIFO_FULL,
-    FIFO_READ,
-    FIFO_WRITE,
     INTERFACE_ANNOTATION,
     PIPELINE_PREFIX,
     UNROLL_PREFIX,

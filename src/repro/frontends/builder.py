@@ -9,13 +9,13 @@ the CPU lowering, the Stencil-HMLS FPGA flow or the baseline models.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field as dataclass_field
+from dataclasses import dataclass
 from typing import Sequence
 
 from repro.dialects import arith, math as math_d, memref as memref_d, stencil
 from repro.dialects.builtin import ModuleOp
 from repro.dialects.func import FuncOp, ReturnOp
-from repro.ir.core import Block, SSAValue, VerifyException
+from repro.ir.core import Block, SSAValue
 from repro.ir.types import MemRefType, f64
 from repro.frontends.expr import (
     BinOp,

@@ -9,7 +9,7 @@ kernel builder lowers this AST into a ``stencil.apply`` region.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence, Union
+from typing import Union
 
 Number = Union[int, float]
 

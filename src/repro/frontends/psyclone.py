@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass, field
-from typing import Sequence
 
 from repro.dialects.builtin import ModuleOp
 from repro.frontends.builder import StencilKernelBuilder

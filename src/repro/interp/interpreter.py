@@ -12,7 +12,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
-from repro.ir.core import Block, BlockArgument, Operation, SSAValue, VerifyException
+from repro.ir.core import Block, Operation, SSAValue
 from repro.dialects import arith, math as math_d, memref as memref_d, scf, stencil
 from repro.dialects.builtin import ModuleOp, UnrealizedConversionCastOp
 from repro.dialects.func import CallOp, FuncOp, ReturnOp

@@ -2,10 +2,9 @@
 
 from __future__ import annotations
 
-from typing import Any, Mapping, Sequence
+from typing import Any, Iterator, Mapping, Sequence
 
 from repro.ir.core import Attribute, VerifyException
-from repro.ir.types import Attribute as _Attribute  # noqa: F401  (re-export convenience)
 from repro.ir.types import FloatType, IndexType, IntegerType, f64, i64, index
 
 
@@ -116,7 +115,7 @@ class ArrayAttr(Attribute):
     def parameters(self) -> tuple:
         return (self.data,)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Attribute]:
         return iter(self.data)
 
     def __len__(self) -> int:
@@ -143,7 +142,7 @@ class DenseIntArrayAttr(Attribute):
     def as_tuple(self) -> tuple[int, ...]:
         return self.values
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[int]:
         return iter(self.values)
 
     def __len__(self) -> int:

@@ -10,9 +10,9 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import Callable, Iterator, Sequence
 
-from repro.ir.core import Attribute, Block, Operation, Region, SSAValue
+from repro.ir.core import Attribute, Block, BlockArgument, Operation, Region, SSAValue
 
 
 @dataclass
@@ -116,7 +116,7 @@ class Builder:
 
 def build_region(
     arg_types: Sequence[Attribute],
-    body_builder,
+    body_builder: "Callable[[Builder, tuple[BlockArgument, ...]], None]",
 ) -> Region:
     """Build a single-block region by calling ``body_builder(builder, args)``."""
     block = Block(arg_types)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.ir.interning import (
     InternedAttributeMeta,
@@ -247,34 +247,34 @@ class _AttributeDict(dict):
         if owner is not None:
             owner.invalidate_fingerprint()
 
-    def __setitem__(self, key, value) -> None:
+    def __setitem__(self, key: Any, value: Any) -> None:
         super().__setitem__(key, value)
         self._touch()
 
-    def __delitem__(self, key) -> None:
+    def __delitem__(self, key: Any) -> None:
         super().__delitem__(key)
         self._touch()
 
-    def update(self, *args, **kwargs) -> None:
+    def update(self, *args: Any, **kwargs: Any) -> None:
         super().update(*args, **kwargs)
         self._touch()
 
-    def __ior__(self, other):
+    def __ior__(self, other: Any) -> "_AttributeDict":
         result = super().__ior__(other)
         self._touch()
         return result
 
-    def pop(self, *args):
+    def pop(self, *args: Any) -> Any:
         result = super().pop(*args)
         self._touch()
         return result
 
-    def popitem(self):
+    def popitem(self) -> tuple[Any, Any]:
         result = super().popitem()
         self._touch()
         return result
 
-    def setdefault(self, key, default=None):
+    def setdefault(self, key: Any, default: Any = None) -> Any:
         had = key in self
         result = super().setdefault(key, default)
         if not had:

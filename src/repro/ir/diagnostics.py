@@ -1,0 +1,216 @@
+"""Located, severity-graded diagnostics for IR verification and linting.
+
+A :class:`Diagnostic` is one finding about a module: a severity
+(``error`` / ``warning`` / ``remark``), a human-readable message, an
+*op-path* location (module → func → block index → op index, rendered like
+``func @pw_advection / block 0 / op 17: stencil.access``), an optional
+rule identifier and attached notes.
+
+The :class:`DiagnosticEngine` is the collect API the structural verifier,
+the pass manager and the ``shmls-lint`` rules all emit through: callers
+either collect everything (lint mode) or raise on the first error
+(:class:`DiagnosticError`, a :class:`VerifyException` subclass so existing
+``except VerifyException`` handlers keep working).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from repro.ir.core import Operation, VerifyException
+
+#: Recognised severities, most severe first.
+SEVERITIES = ("error", "warning", "remark")
+
+ERROR = "error"
+WARNING = "warning"
+REMARK = "remark"
+
+
+def _op_label(op: Operation) -> str:
+    """Label for one path segment: ``func @name`` for symbols, else op name."""
+    sym = op.attributes.get("sym_name")
+    if sym is not None:
+        return f"{op.name.split('.')[0]} @{getattr(sym, 'data', sym)}"
+    return op.name
+
+
+def op_path(op: Operation) -> str:
+    """Render the location of ``op`` as a module→func→block→op path.
+
+    The enclosing module itself is omitted; each nesting level below the
+    top-level symbol contributes a ``block <i> / op <j>: <name>`` segment::
+
+        func @pw_advection / block 0 / op 17: stencil.access
+
+    Detached operations (no parent chain up to a root) render as their
+    plain label.
+    """
+    chain: list[Operation] = []
+    current: Operation | None = op
+    while current is not None and current.parent is not None:
+        chain.append(current)
+        current = current.parent_op()
+    if not chain:
+        return _op_label(op)
+    chain.reverse()
+    segments: list[str] = []
+    for depth, node in enumerate(chain):
+        block = node.parent
+        if depth == 0:
+            segments.append(_op_label(node))
+            continue
+        region = block.parent if block is not None else None
+        block_index = 0
+        op_index = -1
+        if block is not None:
+            if region is not None and block in region.blocks:
+                block_index = region.blocks.index(block)
+            try:
+                op_index = block.index_of(node)
+            except ValueError:  # pragma: no cover - detached mid-walk
+                op_index = -1
+        segments.append(f"block {block_index} / op {op_index}: {_op_label(node)}")
+    return " / ".join(segments)
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One located finding about a module."""
+
+    severity: str
+    message: str
+    path: str = ""
+    rule: str = ""
+    pass_name: str = ""
+    notes: tuple[str, ...] = ()
+
+    def render(self) -> str:
+        """One-line rendering: ``<path>: <severity>: <message> [<rule>]``."""
+        location = self.path or "<module>"
+        text = f"{location}: {self.severity}: {self.message}"
+        if self.rule:
+            text = f"{text} [{self.rule}]"
+        return text
+
+    def render_lines(self) -> list[str]:
+        """The rendered diagnostic plus one indented line per note."""
+        lines = [self.render()]
+        lines.extend(f"  note: {note}" for note in self.notes)
+        return lines
+
+    def as_dict(self) -> dict[str, Any]:
+        entry: dict[str, Any] = {
+            "severity": self.severity,
+            "message": self.message,
+            "path": self.path,
+        }
+        if self.rule:
+            entry["rule"] = self.rule
+        if self.pass_name:
+            entry["pass"] = self.pass_name
+        if self.notes:
+            entry["notes"] = list(self.notes)
+        return entry
+
+
+class DiagnosticError(VerifyException):
+    """A verification/lint failure carrying its structured diagnostics."""
+
+    def __init__(self, diagnostics: list[Diagnostic] | tuple[Diagnostic, ...]):
+        self.diagnostics = tuple(diagnostics)
+        lines: list[str] = []
+        for diag in self.diagnostics:
+            lines.extend(diag.render_lines())
+        super().__init__("\n".join(lines) or "verification failed")
+
+
+@dataclass
+class DiagnosticEngine:
+    """Collects diagnostics; the emit API verification and lint route through.
+
+    ``emit`` attaches the current pass scope and the op-path location
+    automatically; severity counters and :attr:`has_errors` drive exit
+    codes and pass-manager failure decisions.
+    """
+
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    pass_name: str = ""
+
+    def emit(
+        self,
+        severity: str,
+        message: str,
+        *,
+        op: Operation | None = None,
+        path: str = "",
+        rule: str = "",
+        notes: tuple[str, ...] | list[str] = (),
+    ) -> Diagnostic:
+        if severity not in SEVERITIES:
+            raise ValueError(f"unknown diagnostic severity {severity!r}")
+        if not path and op is not None:
+            path = op_path(op)
+        diag = Diagnostic(
+            severity=severity,
+            message=message,
+            path=path,
+            rule=rule,
+            pass_name=self.pass_name,
+            notes=tuple(notes),
+        )
+        self.diagnostics.append(diag)
+        return diag
+
+    def error(self, message: str, **kwargs: Any) -> Diagnostic:
+        return self.emit(ERROR, message, **kwargs)
+
+    def warning(self, message: str, **kwargs: Any) -> Diagnostic:
+        return self.emit(WARNING, message, **kwargs)
+
+    def remark(self, message: str, **kwargs: Any) -> Diagnostic:
+        return self.emit(REMARK, message, **kwargs)
+
+    # -- queries ---------------------------------------------------------------
+
+    def count(self, severity: str) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == ERROR]
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == WARNING]
+
+    @property
+    def has_errors(self) -> bool:
+        return any(d.severity == ERROR for d in self.diagnostics)
+
+    @property
+    def has_warnings(self) -> bool:
+        return any(d.severity == WARNING for d in self.diagnostics)
+
+    @contextmanager
+    def pass_scope(self, name: str) -> Iterator["DiagnosticEngine"]:
+        """Attach ``name`` as the emitting pass for diagnostics in scope."""
+        previous = self.pass_name
+        self.pass_name = name
+        try:
+            yield self
+        finally:
+            self.pass_name = previous
+
+    def check(self) -> None:
+        """Raise a :class:`DiagnosticError` if any error was collected."""
+        if self.has_errors:
+            raise DiagnosticError(self.errors)
+
+    def render_lines(self) -> list[str]:
+        lines: list[str] = []
+        for diag in self.diagnostics:
+            lines.extend(diag.render_lines())
+        return lines

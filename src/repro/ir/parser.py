@@ -19,7 +19,7 @@ from __future__ import annotations
 import re
 from typing import Any
 
-from repro.ir.core import Attribute, Block, Operation, Region, SSAValue, VerifyException
+from repro.ir.core import Attribute, Block, Operation, Region, SSAValue
 from repro.ir.attributes import (
     ArrayAttr,
     BoolAttr,

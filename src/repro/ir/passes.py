@@ -12,10 +12,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence, TypeVar
+from typing import Any, Callable, TypeVar
 
+from repro.ir.analysis import AnalysisManager
 from repro.ir.core import Operation, VerifyException
-from repro.ir.verifier import verify_module
+from repro.ir.diagnostics import DiagnosticError
 
 T = TypeVar("T")
 
@@ -160,27 +161,69 @@ class PassManager:
         ``start_index`` skips the first passes (used when a cached pipeline
         prefix was restored); ``on_pass_end`` fires after each pass has run
         and verified — the hook the per-pass artefact cache stores from.
+
+        Verification runs through the :class:`~repro.ir.analysis.AnalysisManager`
+        held in the pass context: each pass's input and output are both
+        verified, but because the cache is keyed on module fingerprints the
+        input check of pass N+1 is a cache hit on the output check of pass
+        N — 2N logical verifications cost N+1 real ones.
+
+        Every pass also stamps its provenance (name, pipeline position,
+        canonical spec) on the module — with ``verify_each=False`` too — so
+        a later manual :func:`~repro.ir.verifier.verify_module` can still
+        attribute a broken module to the pass that produced it.
         """
+        analyses = self.analyses()
+        spec = self.pipeline_description()
         if self.verify_each:
-            verify_module(module)
-        for pass_ in self.passes[start_index:]:
+            self._verify(module, analyses)
+        for position in range(start_index, len(self.passes)):
+            pass_ = self.passes[position]
+            if self.verify_each and position > start_index:
+                # Re-check this pass's input; cached from the previous
+                # pass's output verification unless the module changed
+                # behind the manager's back.
+                self._verify(module, analyses)
             if on_pass_start is not None:
                 on_pass_start(pass_, module)
             pass_.ctx = self.context
             start = time.perf_counter()
             changed = pass_.apply(module)
             elapsed = time.perf_counter() - start
+            module._pass_provenance = (pass_.name, position, spec)
             self.statistics.append(PassStatistics(pass_.describe(), elapsed, bool(changed)))
             if self.verify_each:
-                try:
-                    verify_module(module)
-                except VerifyException as err:
-                    raise VerifyException(
-                        f"verification failed after pass '{pass_.name}': {err}"
-                    ) from err
+                self._verify(module, analyses, pass_=pass_, position=position, spec=spec)
             if on_pass_end is not None:
                 on_pass_end(pass_, module, self.statistics[-1])
         return module
+
+    def analyses(self) -> AnalysisManager:
+        """The pipeline's analysis manager, created in the context on first use."""
+        manager = self.context.get(AnalysisManager)
+        if manager is None:
+            manager = self.context.set(AnalysisManager())
+        return manager
+
+    def _verify(
+        self,
+        module: Operation,
+        analyses: AnalysisManager,
+        pass_: ModulePass | None = None,
+        position: int | None = None,
+        spec: str = "",
+    ) -> None:
+        diagnostics = analyses.get("verify", module)
+        errors = [d for d in diagnostics if d.severity == "error"]
+        if not errors:
+            return
+        err = DiagnosticError(errors)
+        if pass_ is None:
+            raise err
+        raise VerifyException(
+            f"verification failed after pass '{pass_.name}' "
+            f"(position {position} in pipeline '{spec}'): {err}"
+        ) from err
 
     def pipeline_description(self) -> str:
         return ",".join(p.describe() for p in self.passes)

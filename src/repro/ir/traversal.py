@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from typing import Callable, Iterator, TypeVar
 
-from repro.ir.core import Block, BlockArgument, Operation, OpResult, Region, SSAValue
+from repro.ir.core import Block, Operation, OpResult, SSAValue
 
 OpT = TypeVar("OpT", bound=Operation)
 

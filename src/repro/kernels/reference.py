@@ -13,7 +13,7 @@ from typing import Mapping, Sequence
 
 import numpy as np
 
-from repro.frontends.builder import StencilDefinition, StencilKernelBuilder
+from repro.frontends.builder import StencilKernelBuilder
 from repro.frontends.expr import (
     BinOp,
     Constant,

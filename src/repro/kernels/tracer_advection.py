@@ -18,7 +18,6 @@ from __future__ import annotations
 from repro.dialects.builtin import ModuleOp
 from repro.frontends.builder import StencilDefinition, StencilKernelBuilder
 from repro.frontends.expr import Expr
-from repro.kernels.grids import profile_array
 
 #: Scalar parameters of the kernel and their benchmark values.
 TRACER_SCALARS: dict[str, float] = {"rdt": 0.05, "zice": 0.3}

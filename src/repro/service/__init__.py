@@ -44,7 +44,7 @@ from repro.service.spec import (
 _SERVER_EXPORTS = ("CompileService", "ServiceThread")
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     if name in _SERVER_EXPORTS:
         from repro.service import server
 

@@ -49,12 +49,13 @@ import signal
 import sys
 import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any
 
 from repro.core.compile_cache import CACHE_FORMATS, CacheKey, CompileCache
 from repro.evaluation.harness import BenchmarkCase, EvaluationHarness
+from repro.evaluation.metrics import FrameworkResult
 from repro.evaluation.orchestrator import case_to_dict, read_events
 from repro.evaluation.report import _deterministic_entry, merge_results
 from repro.fpga.device import device_by_name
@@ -394,7 +395,10 @@ class CompileService:
             pending.append(case)
             key_by_case[_case_identity(case)] = (key, slot_digest)
 
-        def on_result(case, framework, result, cached) -> None:
+        def on_result(
+            case: BenchmarkCase, framework: str,
+            result: FrameworkResult, cached: bool,
+        ) -> None:
             nonlocal index
             index += 1
             key, slot_digest = key_by_case[_case_identity(case)]

@@ -7,7 +7,7 @@ from repro.ir.passes import ModulePass
 from repro.ir.rewriter import PatternRewriter, RewritePattern, apply_patterns
 from repro.dialects import arith
 from repro.ir.attributes import IntAttr
-from repro.ir.types import FloatType, IndexType, IntegerType
+from repro.ir.types import FloatType
 from repro.transforms.cse import CSEPass
 from repro.transforms.dce import DCEPass
 

@@ -20,7 +20,6 @@ from dataclasses import dataclass, field
 from repro.dialects import hls, scf
 from repro.dialects.builtin import ModuleOp
 from repro.dialects.func import CallOp, FuncOp
-from repro.ir.core import Operation
 
 
 class CirctLoweringError(Exception):

@@ -20,14 +20,13 @@ Dataflow regions are outlined into stage functions called from the kernel
 
 from __future__ import annotations
 
-from repro.ir.core import Block, Operation, Region, SSAValue, VerifyException
+from repro.ir.core import Block, Operation, SSAValue
 from repro.ir.passes import ModulePass
-from repro.ir.attributes import IntAttr, StringAttr, UnitAttr
-from repro.ir.types import LLVMPointerType, LLVMStructType, i32, i64
+from repro.ir.attributes import StringAttr, UnitAttr
+from repro.ir.types import LLVMStructType, i32
 from repro.dialects import hls, llvm as llvm_d
 from repro.dialects.builtin import ModuleOp
 from repro.dialects.func import CallOp, FuncOp, ReturnOp
-from repro.ir.types import FunctionType
 
 #: Prefix used for all directive-encoding annotation functions.
 ANNOTATION_PREFIX = "_hls_"

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
-from repro.ir.core import BlockArgument, Operation, OpResult, SSAValue, VerifyException
+from repro.ir.core import BlockArgument, OpResult, SSAValue
 from repro.dialects import stencil
 from repro.dialects.builtin import ModuleOp
 from repro.dialects.func import FuncOp

@@ -12,12 +12,12 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.ir.core import Block, BlockArgument, Operation, OpResult, Region, SSAValue, VerifyException
+from repro.ir.core import Block, Operation, OpResult, SSAValue, VerifyException
 from repro.ir.passes import ModulePass
 from repro.dialects import arith, memref as memref_d, scf, stencil
 from repro.dialects.builtin import ModuleOp
 from repro.dialects.func import FuncOp
-from repro.ir.types import MemRefType, index
+from repro.ir.types import index
 
 
 @dataclass

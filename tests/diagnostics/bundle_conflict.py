@@ -1,0 +1,23 @@
+"""Seeded defect: per-field AXI bundles exceeding the U280's 32-port shell.
+
+33 input fields plus the output need 34 master ports per compute unit with
+``separate_bundles`` on — more than the shell supports.
+"""
+
+from repro.frontends.builder import StencilKernelBuilder
+
+# expected-error: func @bundle_kernel: error: kernel needs 34 AXI ports per compute unit but Alveo U280 supports at most 32 [bundle-conflict]
+
+SHAPE = (8, 8, 8)
+NUM_INPUTS = 33
+
+
+def build():
+    b = StencilKernelBuilder("bundle_kernel", SHAPE)
+    inputs = [b.input_field(f"f{i}") for i in range(NUM_INPUTS)]
+    out = b.output_field("out")
+    expr = inputs[0].centre
+    for handle in inputs[1:]:
+        expr = expr + handle.centre
+    b.add_stencil(out, expr)
+    return b.build()

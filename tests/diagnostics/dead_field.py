@@ -1,0 +1,23 @@
+"""Seeded defects: a kernel argument never used and a stage result never
+stored (field written, never read)."""
+
+from repro.dialects import stencil
+from repro.frontends.builder import StencilKernelBuilder
+
+# expected-warning: func @dead_kernel: warning: kernel argument 'ghost' is never read or written [dead-field]
+# expected-warning: {{.*}}stencil.apply: warning: stencil stage result is never stored or read{{.*}}[dead-field]
+
+SHAPE = (8, 8, 8)
+
+
+def build():
+    b = StencilKernelBuilder("dead_kernel", SHAPE)
+    src = b.input_field("src")
+    b.field("ghost")  # declared, never read or written
+    out = b.output_field("out")
+    b.add_stencil(out, src[0, 0, 0] + src[0, 0, 1])
+    module = b.build()
+    # Sever the store so the apply's result is computed but never consumed.
+    store = next(iter(module.walk_type(stencil.StoreOp)))
+    store.erase()
+    return module

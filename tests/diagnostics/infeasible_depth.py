@@ -1,0 +1,24 @@
+"""Seeded defect: a stream depth the resource model proves infeasible.
+
+A FIFO depth of one million elements needs more BRAM than the whole U280
+offers, before a single compute stage is counted.
+"""
+
+from repro.frontends.builder import StencilKernelBuilder
+
+# expected-error: func @deep_kernel: error: configuration is infeasible for Alveo U280: floor estimate exceeds the device ({{.*}}BRAM {{[0-9]+}}/{{[0-9]+}}{{.*}}) [infeasible-config]
+
+SPEC = (
+    "canonicalize,stencil-shape-inference,stencil-interface-lowering,"
+    "stencil-small-data-buffering,stencil-wave-pipelining{depth=1000000},"
+    "stencil-compute-split,hls-bundle-assignment,convert-hls-to-llvm"
+)
+SHAPE = (8, 8, 8)
+
+
+def build():
+    b = StencilKernelBuilder("deep_kernel", SHAPE)
+    src = b.input_field("src")
+    out = b.output_field("out")
+    b.add_stencil(out, src[0, 0, 0] + src[0, 0, 1])
+    return b.build()

@@ -1,0 +1,19 @@
+"""Seeded defect: a stencil access offset escaping the field bounds.
+
+The explicit iteration domain covers the whole grid, so the +1 offset in
+the k dimension reads one plane past the field's upper bound.
+"""
+
+from repro.frontends.builder import StencilKernelBuilder
+
+# expected-error: {{.*}}stencil.access: error: stencil access offset (0, 0, 1) on field 'src' reads outside the field bounds [out-of-bounds-access]
+
+SHAPE = (8, 8, 8)
+
+
+def build():
+    b = StencilKernelBuilder("oob_kernel", SHAPE)
+    src = b.input_field("src")
+    out = b.output_field("out")
+    b.add_stencil(out, src[0, 0, 1] + src[0, 0, 0], lower=(0, 0, 0), upper=SHAPE)
+    return b.build()

@@ -1,0 +1,20 @@
+"""Seeded defect: a "small" constant array far past the BRAM-copy budget.
+
+100k double-precision elements need ~174 BRAM blocks — well within the
+device, but past the 5% small-data budget the lint enforces.
+"""
+
+from repro.frontends.builder import StencilKernelBuilder
+
+# expected-warning: func @blowup_kernel: warning: small data promoted to BRAM needs {{[0-9]+}} BRAM blocks, past the small_data budget of {{[0-9]+}} on Alveo U280 [small-data-budget]
+
+SHAPE = (8, 8, 8)
+
+
+def build():
+    b = StencilKernelBuilder("blowup_kernel", SHAPE)
+    src = b.input_field("src")
+    out = b.output_field("out")
+    coeff = b.small_data("coeff", 100_000, dim=2)
+    b.add_stencil(out, src[0, 0, 0] * coeff.here)
+    return b.build()

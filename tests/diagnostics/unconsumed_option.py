@@ -1,0 +1,21 @@
+"""Seeded defect: a pipeline option whose consuming pass is not scheduled.
+
+``depth`` (stream_depth) is consumed by ``stencil-wave-pipelining``, which
+this truncated pipeline never runs — the override would silently do
+nothing at compile time.
+"""
+
+from repro.frontends.builder import StencilKernelBuilder
+
+# expected-warning: pipeline '{{.*}}': warning: option 'depth' on pass 'stencil-shape-inference' is consumed by no scheduled pass: 'stencil-wave-pipelining' is not in the pipeline [unconsumed-option]
+
+SPEC = "canonicalize,stencil-shape-inference{depth=64}"
+SHAPE = (8, 8, 8)
+
+
+def build():
+    b = StencilKernelBuilder("unconsumed_kernel", SHAPE)
+    src = b.input_field("src")
+    out = b.output_field("out")
+    b.add_stencil(out, src[0, 0, 0] + src[0, 0, 1])
+    return b.build()
